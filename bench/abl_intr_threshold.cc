@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation A2: kDSA interrupt-batching watermarks.
+ *
+ * Section 3.2's scheme disables completion interrupts above a high
+ * watermark of outstanding I/Os and re-enables them below a low one.
+ * This sweep shows interrupts taken and throughput across watermark
+ * choices under a moderately loaded mid-size TPC-C run.
+ */
+
+#include <cstdio>
+
+#include "scenarios/tpcc_run.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+int
+main()
+{
+    std::printf("Ablation A2: kDSA interrupt-batching watermarks "
+                "(mid-size TPC-C)\n\n");
+    util::TextTable table(
+        {"high/low", "tpmC(norm)", "interrupts/s"});
+
+    double base = 0;
+    struct Mark
+    {
+        uint32_t high;
+        uint32_t low;
+    };
+    for (const Mark mark : {Mark{1, 0}, Mark{2, 1}, Mark{4, 2},
+                            Mark{8, 4}, Mark{16, 8}, Mark{64, 32}}) {
+        TpccRunConfig config;
+        config.platform = Platform::MidSize;
+        config.backend = Backend::Kdsa;
+        config.window = sim::msecs(800);
+        config.intr_high_watermark = mark.high;
+        config.intr_low_watermark = mark.low;
+        const TpccRunResult result = runTpcc(config);
+        if (base == 0)
+            base = result.oltp.tpmc;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%u/%u", mark.high,
+                      mark.low);
+        table.addRow(
+            {label,
+             util::TextTable::num(result.oltp.tpmc / base * 100, 1),
+             util::TextTable::num(static_cast<int64_t>(
+                 static_cast<double>(result.host_interrupts) /
+                 sim::toSecs(config.warmup + config.window)))});
+    }
+    table.print();
+    std::printf("\nshape: interrupts collapse once the high "
+                "watermark drops below the typical outstanding "
+                "count; tpmC is flat-to-rising as batching kicks "
+                "in\n");
+    return 0;
+}

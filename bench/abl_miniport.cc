@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation A7: thin monolithic kDSA vs layered driver stacks.
+ *
+ * Section 2.2: "kDSA is built as a thin monolithic driver to reduce
+ * the overhead of going through multiple layers of software.
+ * Alternative implementations, where performance is not the primary
+ * concern, can layer existing kernel modules, such as SCSI miniport
+ * drivers, on top of kDSA." This sweep quantifies the choice: each
+ * stacked layer adds dispatch work and a synchronization pair per
+ * path.
+ */
+
+#include <cstdio>
+
+#include "scenarios/microbench.hh"
+#include "scenarios/tpcc_run.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+int
+main()
+{
+    std::printf("Ablation A7: kDSA driver stacking (mid-size "
+                "TPC-C + cached-read latency)\n\n");
+    util::TextTable table({"extra layers", "tpmC(norm)",
+                           "latency 8K (ms)", "kernel share%"});
+
+    double base = 0;
+    for (const int layers : {0, 1, 2, 4}) {
+        TpccRunConfig config;
+        config.platform = Platform::MidSize;
+        config.backend = Backend::Kdsa;
+        config.window = sim::msecs(800);
+        config.kdsa_extra_layers = layers;
+        const TpccRunResult result = runTpcc(config);
+        if (base == 0)
+            base = result.oltp.tpmc;
+
+        MicroRig::Config rig_config;
+        rig_config.backend = Backend::Kdsa;
+        rig_config.dsa.kdsa_extra_layers = layers;
+        MicroRig rig(rig_config);
+        const auto latency = rig.measureLatency(8192, true, 60, true);
+
+        table.addRow(
+            {util::TextTable::num(static_cast<int64_t>(layers)),
+             util::TextTable::num(result.oltp.tpmc / base * 100, 1),
+             util::TextTable::num(latency.mean_us / 1e3, 3),
+             util::TextTable::num(
+                 result.oltp.cpu_breakdown[static_cast<size_t>(
+                     osmodel::CpuCat::Kernel)] /
+                     std::max(result.oltp.cpu_utilization, 1e-9) *
+                     100,
+                 1)});
+    }
+    table.print();
+    std::printf("\nshape: every stacked layer costs throughput and "
+                "latency — the paper's case for the thin monolithic "
+                "driver\n");
+    return 0;
+}

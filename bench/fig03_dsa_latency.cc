@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3: "Latency of raw VI and DSA for various request sizes."
+ *
+ * Paper series: raw VI, kDSA, wDSA, cDSA over request sizes 512 B to
+ * 16 KB, single outstanding cached read. Expected shape: VI lowest;
+ * V3/DSA adds 15-50 us; cDSA up to 15% better than kDSA; wDSA up to
+ * 20% above kDSA; everything within ~0.05-0.3 ms.
+ */
+
+#include <cstdio>
+
+#include "scenarios/microbench.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+int
+main()
+{
+    std::printf("Figure 3: latency of raw VI and DSA "
+                "(ms, single outstanding cached read)\n\n");
+
+    const uint64_t sizes[] = {512, 1024, 2048, 4096, 8192, 16384};
+    util::TextTable table(
+        {"size", "VI", "kDSA", "wDSA", "cDSA", "kDSA-VI(us)"});
+
+    std::vector<double> vi_ms;
+    for (const uint64_t size : sizes)
+        vi_ms.push_back(rawViLatencyUs(size, 60) / 1e3);
+
+    struct Column
+    {
+        Backend backend;
+        std::vector<double> ms;
+    };
+    std::vector<Column> columns = {{Backend::Kdsa, {}},
+                                   {Backend::Wdsa, {}},
+                                   {Backend::Cdsa, {}}};
+    for (Column &column : columns) {
+        MicroRig::Config config;
+        config.backend = column.backend;
+        MicroRig rig(config);
+        for (const uint64_t size : sizes) {
+            const auto r = rig.measureLatency(size, true, 80, true);
+            column.ms.push_back(r.mean_us / 1e3);
+        }
+    }
+
+    for (size_t i = 0; i < std::size(sizes); ++i) {
+        table.addRow({util::formatSize(sizes[i]),
+                      util::TextTable::num(vi_ms[i], 3),
+                      util::TextTable::num(columns[0].ms[i], 3),
+                      util::TextTable::num(columns[1].ms[i], 3),
+                      util::TextTable::num(columns[2].ms[i], 3),
+                      util::TextTable::num(
+                          (columns[0].ms[i] - vi_ms[i]) * 1e3, 1)});
+    }
+    table.print();
+
+    std::printf("\npaper anchors: VI@8K ~0.09-0.13ms; DSA adds "
+                "15-50us; order cDSA < kDSA < wDSA\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 13: "Normalized TPC-C transaction rate for the mid-size
+ * configuration" — the local curve swept over disk counts, with
+ * kDSA/wDSA/cDSA points at 60 disks (4 V3 nodes x 15 disks plus
+ * 6.4 GB of server cache).
+ *
+ * Paper anchors: local rises with disks and flattens near its CPU
+ * limit; at 60 disks the V3 backends land near the local@176 value
+ * (kDSA ~98, cDSA ~103, wDSA ~90) with a 40-45% server cache hit
+ * ratio.
+ */
+
+#include <cstdio>
+
+#include "scenarios/tpcc_run.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+int
+main()
+{
+    std::printf("Figure 13: normalized TPC-C rate vs disk count, "
+                "mid-size configuration\n\n");
+
+    // Local curve over the paper's x-axis.
+    util::TextTable local_table({"local disks", "tpmC(norm)"});
+    double local176 = 0;
+    std::vector<std::pair<int, double>> curve;
+    for (const int disks : {30, 60, 90, 120, 150, 176, 210}) {
+        TpccRunConfig config;
+        config.platform = Platform::MidSize;
+        config.backend = Backend::Local;
+        config.local_disks = disks;
+        const TpccRunResult result = runTpcc(config);
+        curve.emplace_back(disks, result.oltp.tpmc);
+        if (disks == 176)
+            local176 = result.oltp.tpmc;
+    }
+    for (const auto &[disks, tpmc] : curve) {
+        local_table.addRow(
+            {util::TextTable::num(static_cast<int64_t>(disks)),
+             util::TextTable::num(tpmc / local176 * 100, 1)});
+    }
+    local_table.print();
+
+    std::printf("\nV3 backends at 60 disks (4 nodes x 15):\n");
+    util::TextTable v3_table(
+        {"backend", "tpmC(norm)", "cache hit%", "disk util%"});
+    for (const Backend backend :
+         {Backend::Kdsa, Backend::Wdsa, Backend::Cdsa}) {
+        TpccRunConfig config;
+        config.platform = Platform::MidSize;
+        config.backend = backend;
+        const TpccRunResult result = runTpcc(config);
+        v3_table.addRow(
+            {backendName(backend),
+             util::TextTable::num(result.oltp.tpmc / local176 * 100,
+                                  1),
+             util::TextTable::num(result.server_cache_hit * 100, 1),
+             util::TextTable::num(result.disk_utilization * 100,
+                                  1)});
+    }
+    v3_table.print();
+    std::printf("\npaper anchors: kDSA ~98, wDSA ~90, cDSA ~103 (of "
+                "local@176); hit ratio 40-45%%\n");
+    return 0;
+}

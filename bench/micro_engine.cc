@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation A6: simulator-engine micro-benchmarks (google-benchmark).
+ *
+ * Wall-clock performance of the hot engine paths: event scheduling,
+ * coroutine switches, cache operations, and a full simulated I/O
+ * round trip. These guard against regressions that would make the
+ * TPC-C benches impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "osmodel/node.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "storage/mq_cache.hh"
+
+using namespace v3sim;
+
+namespace
+{
+
+void
+BM_EventScheduleFire(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    int sink = 0;
+    for (auto _ : state) {
+        queue.schedule(100, [&sink] { ++sink; });
+        queue.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void
+BM_EventQueueDepth1000(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            queue.schedule(i * 7 % 997, [&sink] { ++sink; });
+        queue.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueDepth1000);
+
+void
+BM_CoroutineSleepLoop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        sim::spawn([](sim::Simulation &s) -> sim::Task<> {
+            for (int i = 0; i < 1000; ++i)
+                co_await s.sleep(100);
+        }(sim));
+        sim.run();
+    }
+}
+BENCHMARK(BM_CoroutineSleepLoop);
+
+void
+BM_CpuPoolAcquireRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        osmodel::Node node(
+            sim, osmodel::NodeConfig{.name = "n", .cpus = 4});
+        for (int w = 0; w < 8; ++w) {
+            sim::spawn([](osmodel::Node &n) -> sim::Task<> {
+                for (int i = 0; i < 100; ++i) {
+                    osmodel::CpuLease lease =
+                        co_await n.cpus().acquire();
+                    co_await lease.run(sim::usecs(1),
+                                       osmodel::CpuCat::Sql);
+                    n.cpus().release();
+                }
+            }(node));
+        }
+        sim.run();
+    }
+}
+BENCHMARK(BM_CpuPoolAcquireRun);
+
+void
+BM_MqCacheTouch(benchmark::State &state)
+{
+    sim::MemorySpace mem;
+    storage::MqCache cache(mem, 8192, 4096);
+    sim::Rng rng(5);
+    for (auto _ : state) {
+        const storage::CacheKey key{
+            0, rng.uniformInt(0, 16383)};
+        if (cache.lookupAndPin(key)) {
+            cache.unpin(key);
+        } else if (cache.insertAndPin(key)) {
+            cache.unpin(key);
+        }
+    }
+}
+BENCHMARK(BM_MqCacheTouch);
+
+} // namespace
+
+BENCHMARK_MAIN();

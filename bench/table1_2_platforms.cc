@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tables 1 and 2: the database-host and V3-server configuration
+ * summaries, printed from the very objects the simulation runs with
+ * (so the tables and the experiments cannot drift apart).
+ */
+
+#include <cstdio>
+
+#include "scenarios/testbed.hh"
+#include "scenarios/tpcc_run.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+int
+main()
+{
+    std::printf("Table 1: database host configuration summary\n\n");
+    {
+        const HostParams mid = HostParams::midSize();
+        const HostParams large = HostParams::large();
+        const tpcc::TpccConfig mid_wl =
+            platformWorkload(Platform::MidSize);
+        const tpcc::TpccConfig large_wl =
+            platformWorkload(Platform::Large);
+
+        util::TextTable table({"Component", "Mid-size", "Large"});
+        table.addRow({"CPUs", "4 x 700 MHz PIII",
+                      "32 x 800 MHz PIII"});
+        table.addRow({"CPUs (model)", std::to_string(mid.cpus),
+                      std::to_string(large.cpus)});
+        table.addRow(
+            {"lock pair (us)",
+             util::TextTable::num(
+                 sim::toUsecs(mid.costs.lock_acquire +
+                              mid.costs.lock_release), 2),
+             util::TextTable::num(
+                 sim::toUsecs(large.costs.lock_acquire +
+                              large.costs.lock_release), 2)});
+        table.addRow(
+            {"interrupt (us)",
+             util::TextTable::num(sim::toUsecs(mid.costs.interrupt),
+                                  1),
+             util::TextTable::num(
+                 sim::toUsecs(large.costs.interrupt), 1)});
+        table.addRow({"# warehouses",
+                      std::to_string(mid_wl.warehouses),
+                      std::to_string(large_wl.warehouses)});
+        table.addRow(
+            {"working set (model)",
+             util::formatSize(mid_wl.workingSetBytes()),
+             util::formatSize(large_wl.workingSetBytes())});
+        table.addRow({"(paper working set)", "~100 GB", "~1 TB"});
+        table.print();
+        std::printf("\n(model working set = paper / %llu; see "
+                    "DESIGN.md scaling note)\n",
+                    static_cast<unsigned long long>(kTpccScale));
+    }
+
+    std::printf("\nTable 2: V3 server configuration summary\n\n");
+    {
+        const StorageParams mid = StorageParams::midSize();
+        const StorageParams large = StorageParams::large();
+        util::TextTable table({"Component", "Mid-size", "Large"});
+        table.addRow({"# V3 nodes", std::to_string(mid.v3_nodes),
+                      std::to_string(large.v3_nodes)});
+        table.addRow({"CPUs/node", "2 x 700 MHz PIII",
+                      "2 x 700 MHz PIII"});
+        table.addRow({"disks/node",
+                      std::to_string(mid.disks_per_node),
+                      std::to_string(large.disks_per_node)});
+        table.addRow({"total disks",
+                      std::to_string(mid.v3_nodes *
+                                     mid.disks_per_node),
+                      std::to_string(large.v3_nodes *
+                                     large.disks_per_node)});
+        table.addRow({"disk type", mid.disk_spec.model,
+                      large.disk_spec.model});
+        table.addRow(
+            {"disk RPM", std::to_string(mid.disk_spec.rpm),
+             std::to_string(large.disk_spec.rpm)});
+        table.addRow(
+            {"V3 cache/node (model)",
+             util::formatSize(mid.cache_bytes_per_node),
+             util::formatSize(large.cache_bytes_per_node)});
+        table.addRow({"(paper cache/node)", "1.6 GB", "2.4 GB"});
+        table.addRow({"total disk space",
+                      util::formatSize(
+                          static_cast<uint64_t>(mid.v3_nodes) *
+                          mid.disks_per_node *
+                          mid.disk_spec.capacity_bytes),
+                      util::formatSize(
+                          static_cast<uint64_t>(large.v3_nodes) *
+                          large.disks_per_node *
+                          large.disk_spec.capacity_bytes)});
+        table.print();
+    }
+
+    std::printf("\nNetwork: Giganet cLan model — %.0f MB/s link, "
+                "64-byte one-way ~7 us, max packet 64K-64 B\n",
+                net::FabricConfig{}.bandwidth_bps / 1e6);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * OLTP demo: a small TPC-C-shaped run over every storage backend.
+ *
+ * A scaled-down version of the paper's section 6 experiment: the
+ * same database engine and workload driven through Local/kDSA/wDSA/
+ * cDSA attachments, printing transaction rate, CPU utilization and
+ * its breakdown. Runs in a few seconds.
+ *
+ *   $ ./examples/oltp_demo
+ */
+
+#include <cstdio>
+
+#include "scenarios/tpcc_run.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+int
+main()
+{
+    std::printf("Mini TPC-C across storage backends "
+                "(mid-size platform, short window)\n\n");
+
+    util::TextTable table({"backend", "tpmC", "vs local", "cpu%",
+                           "SQL%", "Kernel%", "Lock%", "DSA%",
+                           "hit%"});
+    double local_tpmc = 0;
+    for (const Backend backend : {Backend::Local, Backend::Kdsa,
+                                  Backend::Wdsa, Backend::Cdsa}) {
+        TpccRunConfig config;
+        config.platform = Platform::MidSize;
+        config.backend = backend;
+        config.warmup = sim::msecs(200);
+        config.window = sim::msecs(600);
+        const TpccRunResult r = runTpcc(config);
+        if (backend == Backend::Local)
+            local_tpmc = r.oltp.tpmc;
+
+        auto share = [&](osmodel::CpuCat cat) {
+            return r.oltp.cpu_breakdown[static_cast<size_t>(cat)] /
+                   std::max(r.oltp.cpu_utilization, 1e-9) * 100;
+        };
+        char rel[16];
+        std::snprintf(rel, sizeof(rel), "%+.1f%%",
+                      (r.oltp.tpmc / local_tpmc - 1) * 100);
+        table.addRow({backendName(backend),
+                      util::TextTable::num(r.oltp.tpmc, 0), rel,
+                      util::TextTable::num(
+                          r.oltp.cpu_utilization * 100, 1),
+                      util::TextTable::num(
+                          share(osmodel::CpuCat::Sql), 1),
+                      util::TextTable::num(
+                          share(osmodel::CpuCat::Kernel), 1),
+                      util::TextTable::num(
+                          share(osmodel::CpuCat::Lock), 1),
+                      util::TextTable::num(
+                          share(osmodel::CpuCat::Dsa), 1),
+                      util::TextTable::num(
+                          r.server_cache_hit * 100, 1)});
+    }
+    table.print();
+
+    std::printf(
+        "\nWhat to look for (the paper's findings, section 6):\n"
+        "  - kDSA lands near the local baseline;\n"
+        "  - cDSA wins by spending less CPU per I/O (polled\n"
+        "    completions, no kernel on the I/O path);\n"
+        "  - wDSA pays for Win32 completion semantics;\n"
+        "  - the V3 cache absorbs 40-45%% of reads with a third of\n"
+        "    the local configuration's disks.\n");
+    return 0;
+}

@@ -1,0 +1,171 @@
+#include "oltp_engine.hh"
+
+namespace v3sim::db
+{
+
+using osmodel::CpuCat;
+using osmodel::CpuLease;
+
+OltpEngine::OltpEngine(osmodel::Node &node, dsa::BlockDevice &device,
+                       tpcc::Workload &workload, OltpConfig config)
+    : node_(node),
+      device_(device),
+      workload_(workload),
+      config_(config)
+{
+    // One page buffer per worker, from AWE so buffers are pinned
+    // physical memory the way SQL Server's cache is (section 3.1).
+    worker_buffers_.reserve(static_cast<size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+        worker_buffers_.push_back(
+            node_.awe().allocate(workload_.config().page_size));
+    }
+    const char *latch_names[] = {"db.bufmgr", "db.lockmgr", "db.log",
+                                 "db.sched"};
+    for (const char *name : latch_names) {
+        latches_.push_back(std::make_unique<osmodel::SimLock>(
+            node_.sim(), node_.costs(), name));
+    }
+}
+
+void
+OltpEngine::start()
+{
+    running_ = true;
+    for (int i = 0; i < config_.workers; ++i)
+        sim::spawn(worker(i));
+    if (config_.enable_log && log_device_)
+        sim::spawn(logWriter());
+}
+
+sim::Task<>
+OltpEngine::worker(int id)
+{
+    ++active_workers_;
+    const sim::Addr buffer =
+        worker_buffers_[static_cast<size_t>(id)];
+    const uint64_t page = workload_.config().page_size;
+
+    while (running_) {
+        const sim::Tick start = node_.sim().now();
+        const tpcc::TxnType type = workload_.sampleType();
+        const uint32_t io_count = workload_.sampleIoCount(type);
+        const sim::Tick cpu_demand = workload_.cpuDemand(type);
+        // Database CPU work is spread across the I/O interleave.
+        const sim::Tick slice =
+            cpu_demand / static_cast<sim::Tick>(io_count + 1);
+
+        for (uint32_t i = 0; i < io_count; ++i) {
+            {
+                CpuLease lease = co_await node_.cpus().acquire();
+                co_await lease.run(slice, CpuCat::Sql);
+                node_.cpus().release();
+            }
+            const uint64_t offset = workload_.sampleOffset();
+            if (workload_.sampleIsRead())
+                co_await device_.read(offset, page, buffer);
+            else
+                co_await device_.write(offset, page, buffer);
+            ios_.increment();
+
+            // SQL-Server-induced per-I/O work (see OltpConfig).
+            {
+                CpuLease lease = co_await node_.cpus().acquire();
+                co_await lease.run(config_.io_kernel_overhead,
+                                   CpuCat::Kernel);
+                co_await lease.run(config_.io_other_overhead,
+                                   CpuCat::Other);
+                for (int p = 0; p < config_.io_latch_pairs; ++p) {
+                    osmodel::SimLock &latch =
+                        *latches_[next_latch_];
+                    next_latch_ =
+                        (next_latch_ + 1) % latches_.size();
+                    co_await latch.syncPair(lease, CpuCat::Lock,
+                                            config_.latch_hold);
+                }
+                if (config_.polling_completion) {
+                    co_await lease.run(config_.polling_overhead,
+                                       CpuCat::Dsa);
+                } else {
+                    co_await lease.run(config_.blocking_overhead,
+                                       CpuCat::Kernel);
+                }
+                node_.cpus().release();
+            }
+        }
+        {
+            CpuLease lease = co_await node_.cpus().acquire();
+            co_await lease.run(slice, CpuCat::Sql);
+            node_.cpus().release();
+        }
+
+        committed_.increment();
+        ++commits_since_flush_;
+        if (type == tpcc::TxnType::NewOrder)
+            new_orders_.increment();
+        txn_latency_.add(
+            static_cast<double>(node_.sim().now() - start));
+    }
+    --active_workers_;
+}
+
+sim::Task<>
+OltpEngine::logWriter()
+{
+    // Group commit: one sequential log write per interval covering
+    // every commit since the previous flush.
+    while (running_) {
+        co_await node_.sim().sleep(config_.log_interval);
+        if (commits_since_flush_ == 0 || !log_device_)
+            continue;
+        commits_since_flush_ = 0;
+        const uint64_t len = config_.log_write_bytes;
+        if (log_offset_ + len > log_device_->capacity())
+            log_offset_ = 0; // circular log
+        co_await log_device_->write(log_offset_, len,
+                                    worker_buffers_.front());
+        log_offset_ += len;
+    }
+}
+
+void
+OltpEngine::resetStats()
+{
+    committed_.reset();
+    new_orders_.reset();
+    ios_.reset();
+    txn_latency_.reset();
+    node_.cpus().resetStats();
+}
+
+OltpResult
+OltpEngine::run(sim::Tick warmup, sim::Tick window)
+{
+    sim::Simulation &sim = node_.sim();
+    start();
+    sim.runUntil(sim.now() + warmup);
+    resetStats();
+    const sim::Tick begin = sim.now();
+    sim.runUntil(begin + window);
+    const sim::Tick span = sim.now() - begin;
+
+    OltpResult result;
+    const double minutes = sim::toSecs(span) / 60.0;
+    result.tpmc = static_cast<double>(newOrderCount()) / minutes;
+    result.total_tpm =
+        static_cast<double>(committedCount()) / minutes;
+    result.io_per_second =
+        static_cast<double>(ioCount()) / sim::toSecs(span);
+    result.mean_txn_latency_us = txn_latency_.mean() / 1e3;
+    result.cpu_utilization = node_.cpus().utilization();
+    for (size_t c = 0; c < osmodel::kCpuCatCount; ++c) {
+        result.cpu_breakdown[c] = node_.cpus().utilization(
+            static_cast<CpuCat>(c));
+    }
+
+    stop();
+    sim.run(); // let workers wind down
+    return result;
+}
+
+} // namespace v3sim::db

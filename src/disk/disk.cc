@@ -1,0 +1,182 @@
+#include "disk.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace v3sim::disk
+{
+
+bool
+DiskStore::readInto(uint64_t offset, uint64_t len, sim::MemorySpace &mem,
+                    sim::Addr addr) const
+{
+    if (offset % kSectorSize != 0 || len % kSectorSize != 0)
+        return false;
+    if (!mem.contains(addr, len))
+        return false;
+    if (phantom_ || mem.phantom())
+        return true;
+    for (uint64_t done = 0; done < len; done += kSectorSize) {
+        const auto it = sectors_.find((offset + done) / kSectorSize);
+        if (it != sectors_.end()) {
+            mem.write(addr + done, it->second.data(), kSectorSize);
+        } else {
+            Sector zeros{};
+            mem.write(addr + done, zeros.data(), kSectorSize);
+        }
+    }
+    return true;
+}
+
+bool
+DiskStore::writeFrom(uint64_t offset, uint64_t len,
+                     const sim::MemorySpace &mem, sim::Addr addr)
+{
+    if (offset % kSectorSize != 0 || len % kSectorSize != 0)
+        return false;
+    if (!mem.contains(addr, len))
+        return false;
+    if (phantom_ || mem.phantom())
+        return true;
+    for (uint64_t done = 0; done < len; done += kSectorSize) {
+        Sector &sector = sectors_[(offset + done) / kSectorSize];
+        mem.read(addr + done, sector.data(), kSectorSize);
+    }
+    return true;
+}
+
+Disk::Disk(sim::Simulation &sim, DiskSpec spec, sim::Rng rng,
+           std::string name, SchedPolicy policy, bool phantom_store)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      rng_(rng),
+      name_(std::move(name)),
+      policy_(policy),
+      store_(phantom_store)
+{
+    busy_integral_.reset(sim_.now(), 0.0);
+}
+
+void
+Disk::submit(uint64_t offset, uint64_t len, bool is_write,
+             std::function<void()> done)
+{
+    assert(offset + len <= spec_.capacity_bytes);
+    queue_.push_back(
+        Command{offset, len, is_write, sim_.now(), std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+sim::Task<>
+Disk::read(uint64_t offset, uint64_t len)
+{
+    sim::Completion<> completion;
+    submit(offset, len, false, [&completion] { completion.set(); });
+    co_await completion.wait();
+}
+
+sim::Task<>
+Disk::write(uint64_t offset, uint64_t len)
+{
+    sim::Completion<> completion;
+    submit(offset, len, true, [&completion] { completion.set(); });
+    co_await completion.wait();
+}
+
+size_t
+Disk::pickNext()
+{
+    if (policy_ == SchedPolicy::Fifo || queue_.size() == 1)
+        return 0;
+
+    // C-LOOK: the lowest offset at or above the head; if none, wrap
+    // to the lowest offset overall.
+    size_t best_up = queue_.size();
+    size_t best_wrap = 0;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].offset >= head_pos_) {
+            if (best_up == queue_.size() ||
+                queue_[i].offset < queue_[best_up].offset) {
+                best_up = i;
+            }
+        }
+        if (queue_[i].offset < queue_[best_wrap].offset)
+            best_wrap = i;
+    }
+    return best_up != queue_.size() ? best_up : best_wrap;
+}
+
+sim::Tick
+Disk::serviceTime(const Command &cmd)
+{
+    const double distance =
+        std::abs(static_cast<double>(cmd.offset) -
+                 static_cast<double>(head_pos_)) /
+        static_cast<double>(spec_.capacity_bytes);
+
+    sim::Tick t = spec_.controller_overhead;
+    if (distance > 0) {
+        t += spec_.seekTime(distance);
+        // Rotational latency: uniform in [0, one rotation); with
+        // tagged queuing the drive serves the rotationally nearest
+        // of the queued commands, shrinking the expectation to
+        // roughly rotation/(depth+2).
+        double rot = rng_.nextDouble();
+        if (spec_.tagged_queuing && !queue_.empty()) {
+            rot /= static_cast<double>(queue_.size() + 1);
+        }
+        t += static_cast<sim::Tick>(
+            rot * static_cast<double>(spec_.rotationTime()));
+    }
+    // Sequential continuation (zero distance) skips seek+rotation.
+    t += spec_.transferTime(cmd.len);
+    return t;
+}
+
+void
+Disk::startNext()
+{
+    if (queue_.empty())
+        return;
+    busy_ = true;
+    busy_integral_.set(sim_.now(), 1.0);
+
+    const size_t index = pickNext();
+    Command cmd = std::move(queue_[index]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::deque<Command>::difference_type>(
+                     index));
+
+    const sim::Tick service = serviceTime(cmd);
+    head_pos_ = cmd.offset + cmd.len;
+    service_stats_.add(static_cast<double>(service));
+
+    sim_.queue().schedule(service, [this, cmd = std::move(cmd)] {
+        latency_stats_.add(
+            static_cast<double>(sim_.now() - cmd.enqueued));
+        completed_.increment();
+        busy_ = false;
+        busy_integral_.set(sim_.now(), 0.0);
+        if (!queue_.empty())
+            startNext();
+        cmd.done();
+    });
+}
+
+double
+Disk::utilization() const
+{
+    return busy_integral_.average(sim_.now());
+}
+
+void
+Disk::resetStats()
+{
+    completed_.reset();
+    service_stats_.reset();
+    latency_stats_.reset();
+    busy_integral_.reset(sim_.now(), busy_ ? 1.0 : 0.0);
+}
+
+} // namespace v3sim::disk

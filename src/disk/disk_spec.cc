@@ -1,0 +1,59 @@
+#include "disk_spec.hh"
+
+#include <cmath>
+
+namespace v3sim::disk
+{
+
+sim::Tick
+DiskSpec::seekTime(double distance_fraction) const
+{
+    if (distance_fraction <= 0)
+        return 0;
+    if (distance_fraction > 1)
+        distance_fraction = 1;
+    const double span = static_cast<double>(full_stroke_seek -
+                                            track_to_track_seek);
+    return track_to_track_seek +
+           static_cast<sim::Tick>(span * std::sqrt(distance_fraction));
+}
+
+sim::Tick
+DiskSpec::avgSeek() const
+{
+    // E[sqrt(|U1 - U2|)] for independent uniforms = 8/15 ~= 0.533.
+    const double span = static_cast<double>(full_stroke_seek -
+                                            track_to_track_seek);
+    return track_to_track_seek +
+           static_cast<sim::Tick>(span * (8.0 / 15.0));
+}
+
+DiskSpec
+DiskSpec::scsi10k()
+{
+    DiskSpec spec;
+    spec.model = "SCSI-18GB-10K";
+    spec.rpm = 10000;
+    spec.track_to_track_seek = sim::msecs(0.6);
+    spec.full_stroke_seek = sim::msecs(9.5);
+    spec.media_rate_bps = 40e6;
+    spec.capacity_bytes = 18ull * util::kGiB;
+    spec.controller_overhead = sim::msecs(0.20);
+    return spec;
+}
+
+DiskSpec
+DiskSpec::fc15k()
+{
+    DiskSpec spec;
+    spec.model = "FC-18GB-15K";
+    spec.rpm = 15000;
+    spec.track_to_track_seek = sim::msecs(0.4);
+    spec.full_stroke_seek = sim::msecs(7.0);
+    spec.media_rate_bps = 55e6;
+    spec.capacity_bytes = 18ull * util::kGiB;
+    spec.controller_overhead = sim::msecs(0.15);
+    return spec;
+}
+
+} // namespace v3sim::disk

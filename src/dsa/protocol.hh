@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The DSA wire protocol between database clients and V3 servers.
+ *
+ * DSA layers a custom block-I/O protocol over VI (section 2.2). The
+ * protocol is deliberately small:
+ *
+ *  - Hello / HelloAck: per-connection setup, exchanging the credit
+ *    budget and the server's write-staging buffer addresses;
+ *  - ReadReq: server RDMA-writes the block data straight into the
+ *    client's (registered) buffer, then completes;
+ *  - WriteReq: the client first RDMA-writes the payload into a
+ *    server staging buffer its credits own, then sends the request;
+ *    the server commits to disk before completing ("in database
+ *    systems writes have to commit to disk", section 5.2);
+ *  - completion is either a Response message (consumes a client
+ *    receive descriptor, interrupt-driven — the kDSA/wDSA path) or an
+ *    RDMA flag write into client memory (invisible to the CPU until
+ *    polled — the cDSA path, section 2.2/3.2).
+ *
+ * Every request carries a per-connection sequence number; the server
+ * keeps the highest completed sequence per connection so DSA's
+ * request-level retransmission never re-executes a write (exactly-
+ * once effect on top of VI's best-effort delivery).
+ *
+ * Messages travel as VI sends whose modelled wire size is
+ * kRequestWireBytes/kResponseWireBytes; the typed structs ride the
+ * descriptor's control sidecar (see vi::WorkDescriptor::control).
+ */
+
+#ifndef V3SIM_DSA_PROTOCOL_HH
+#define V3SIM_DSA_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "sim/memory.hh"
+
+namespace v3sim::dsa
+{
+
+/** Modelled wire size of a request message. */
+constexpr uint64_t kRequestWireBytes = 64;
+
+/** Modelled wire size of a response / credit message. */
+constexpr uint64_t kResponseWireBytes = 64;
+
+/** How the server signals request completion to this client. */
+enum class CompletionMode : uint8_t
+{
+    /** VI send consuming a posted receive; interrupt-capable. */
+    Message,
+    /** Plain RDMA write of the request's completion flag. */
+    RdmaFlag,
+};
+
+/** Request operation codes. */
+enum class DsaOp : uint8_t
+{
+    Hello,
+    Read,
+    Write,
+    /** Caching/prefetching hint (a cDSA advanced feature, section
+     *  2.2: "cDSA also supports more advanced features, such as
+     *  caching and prefetching hints for the storage server"). */
+    Hint,
+};
+
+/** Hint kinds carried by DsaOp::Hint. */
+enum class HintKind : uint8_t
+{
+    /** Prefetch the range into the server cache. */
+    WillNeed,
+    /** Drop the range from the server cache. */
+    DontNeed,
+    /** Expect sequential access (accepted; advisory). */
+    Sequential,
+};
+
+/** Client-to-server request (control sidecar of a VI send). */
+struct RequestMsg
+{
+    DsaOp op = DsaOp::Read;
+    /** Client-chosen id echoed in the completion. */
+    uint64_t request_id = 0;
+    /** Per-connection sequence for retransmission dedup. */
+    uint64_t seq = 0;
+    /** True when this is a retransmission of an earlier send. */
+    bool retransmit = false;
+    /** Piggybacked ack: every sequence below this has completed at
+     *  the client, so the server may prune its dedup filter. */
+    uint64_t ack_below = 0;
+
+    uint32_t volume = 0;
+    uint64_t offset = 0;
+    uint32_t len = 0;
+
+    /** Read: RDMA target in client memory for the data. */
+    sim::Addr client_buffer = sim::kNullAddr;
+    /** Write: server staging slot already filled via RDMA. */
+    uint32_t staging_slot = 0;
+
+    CompletionMode completion = CompletionMode::Message;
+    /** RdmaFlag mode: address of the request's completion flag. */
+    sim::Addr flag_addr = sim::kNullAddr;
+    /** DsaOp::Hint only. */
+    HintKind hint = HintKind::WillNeed;
+};
+
+/** Server-to-client response (control sidecar, Message mode). */
+struct ResponseMsg
+{
+    uint64_t request_id = 0;
+    bool ok = true;
+};
+
+/** Server-to-client hello acknowledgement. */
+struct HelloAckMsg
+{
+    /** Request credits: max outstanding requests on the connection
+     *  (matches the receive descriptors the server posted). */
+    uint32_t request_credits = 0;
+    /** Write-staging slots granted to this client. */
+    uint32_t staging_slots = 0;
+    /** Size of each staging slot in bytes. */
+    uint32_t staging_slot_bytes = 0;
+    /** Base addresses of the staging slots in server memory. */
+    sim::Addr staging_base = sim::kNullAddr;
+    /** Capacity of the volume named in the Hello request. */
+    uint64_t volume_capacity = 0;
+};
+
+/**
+ * Tagged server-to-client message (control sidecar): either a
+ * request completion or the Hello acknowledgement. The tag keeps the
+ * sidecar cast type-safe.
+ */
+struct ServerMsg
+{
+    enum class Kind : uint8_t
+    {
+        Response,
+        HelloAck,
+    };
+
+    Kind kind = Kind::Response;
+    ResponseMsg response;
+    HelloAckMsg hello;
+};
+
+/** Value the server writes into a completion flag (RdmaFlag mode):
+ *  low bit = done, next bit = ok. */
+constexpr uint64_t kFlagDone = 1;
+constexpr uint64_t kFlagOk = 2;
+
+} // namespace v3sim::dsa
+
+#endif // V3SIM_DSA_PROTOCOL_HH

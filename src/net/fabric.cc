@@ -1,0 +1,101 @@
+#include "fabric.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace v3sim::net
+{
+
+Fabric::Fabric(sim::EventQueue &queue, FabricConfig config)
+    : queue_(queue), config_(config)
+{
+    assert(config_.bandwidth_bps > 0);
+}
+
+PortId
+Fabric::attach(Handler handler, std::string name)
+{
+    auto state = std::make_unique<PortState>();
+    state->handler = std::move(handler);
+    state->name = std::move(name);
+    state->tx = std::make_unique<sim::ServerPool>(queue_, 1,
+                                                  state->name + ".tx");
+    ports_.push_back(std::move(state));
+    return static_cast<PortId>(ports_.size() - 1);
+}
+
+const std::string &
+Fabric::portName(PortId id) const
+{
+    static const std::string empty;
+    if (id >= ports_.size())
+        return empty;
+    return ports_[id]->name;
+}
+
+void
+Fabric::send(Packet packet, std::function<void()> on_wire)
+{
+    if (packet.src >= ports_.size() || packet.dst >= ports_.size()) {
+        V3LOG(Warn, "fabric") << "dropping packet with invalid port";
+        dropped_.increment();
+        if (on_wire)
+            on_wire();
+        return;
+    }
+    const bool drop = drop_filter_ && drop_filter_(packet);
+    if (drop)
+        dropped_.increment();
+
+    PortState &src = *ports_[packet.src];
+    src.bytes_sent.increment(packet.wire_bytes);
+
+    const sim::Tick serialization =
+        sim::transferTime(packet.wire_bytes, config_.bandwidth_bps);
+    src.tx->submit(serialization,
+                   [this, drop, packet = std::move(packet),
+                    on_wire = std::move(on_wire)]() mutable {
+                       if (on_wire)
+                           on_wire();
+                       if (drop)
+                           return;
+                       queue_.schedule(config_.propagation,
+                                       [this, packet = std::move(packet)]()
+                                           mutable {
+                                           deliver(std::move(packet));
+                                       });
+                   });
+}
+
+void
+Fabric::deliver(Packet packet)
+{
+    PortState &dst = *ports_[packet.dst];
+    dst.delivered.increment();
+    dst.handler(std::move(packet));
+}
+
+uint64_t
+Fabric::bytesSent(PortId port) const
+{
+    assert(port < ports_.size());
+    return ports_[port]->bytes_sent.value();
+}
+
+uint64_t
+Fabric::packetsDelivered(PortId port) const
+{
+    assert(port < ports_.size());
+    return ports_[port]->delivered.value();
+}
+
+double
+Fabric::txUtilization(PortId port) const
+{
+    assert(port < ports_.size());
+    return ports_[port]->tx->utilization();
+}
+
+} // namespace v3sim::net

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Address Windowing Extensions (AWE) memory model.
+ *
+ * Section 3.1: "In cDSA we use the Address Windowing Extensions to
+ * allocate the database server cache on physical memory ...
+ * Application memory allocated as AWE memory is always pinned."
+ *
+ * For the simulation, AWE's relevant property is exactly that:
+ * allocations from this allocator are permanently pinned physical
+ * memory, so VI registration of AWE buffers skips per-page pin
+ * costs (pre_pinned=true) and never pays unpin on deregistration.
+ * The window-remapping calls the real API needs are cheap
+ * ("low-overhead calls") and do not sit on the I/O path, so they are
+ * not modelled.
+ */
+
+#ifndef V3SIM_OSMODEL_AWE_HH
+#define V3SIM_OSMODEL_AWE_HH
+
+#include <cstdint>
+#include <set>
+
+#include "sim/memory.hh"
+
+namespace v3sim::osmodel
+{
+
+/** Allocates permanently pinned memory out of a host memory space. */
+class AweAllocator
+{
+  public:
+    explicit AweAllocator(sim::MemorySpace &memory) : memory_(memory) {}
+
+    AweAllocator(const AweAllocator &) = delete;
+    AweAllocator &operator=(const AweAllocator &) = delete;
+
+    /** Allocates @p len bytes of pinned physical memory. */
+    sim::Addr
+    allocate(uint64_t len)
+    {
+        const sim::Addr addr = memory_.allocate(len);
+        if (addr != sim::kNullAddr) {
+            regions_.insert({addr, len});
+            total_ += len;
+        }
+        return addr;
+    }
+
+    /** True if @p addr lies in an AWE (always-pinned) region. */
+    bool
+    isPinned(sim::Addr addr) const
+    {
+        auto it = regions_.upper_bound({addr, UINT64_MAX});
+        if (it == regions_.begin())
+            return false;
+        --it;
+        return addr >= it->base && addr - it->base < it->len;
+    }
+
+    uint64_t totalBytes() const { return total_; }
+
+  private:
+    struct Region
+    {
+        sim::Addr base;
+        uint64_t len;
+
+        bool
+        operator<(const Region &other) const
+        {
+            return base < other.base ||
+                   (base == other.base && len < other.len);
+        }
+    };
+
+    sim::MemorySpace &memory_;
+    std::set<Region> regions_;
+    uint64_t total_ = 0;
+};
+
+} // namespace v3sim::osmodel
+
+#endif // V3SIM_OSMODEL_AWE_HH

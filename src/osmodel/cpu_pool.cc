@@ -1,0 +1,82 @@
+#include "cpu_pool.hh"
+
+#include <numeric>
+
+namespace v3sim::osmodel
+{
+
+const char *
+cpuCatName(CpuCat cat)
+{
+    switch (cat) {
+      case CpuCat::Sql: return "SQL";
+      case CpuCat::Kernel: return "OS Kernel";
+      case CpuCat::Lock: return "Lock";
+      case CpuCat::Dsa: return "DSA";
+      case CpuCat::Vi: return "VI";
+      case CpuCat::Other: return "Other";
+    }
+    return "?";
+}
+
+CpuPool::CpuPool(sim::Simulation &sim, int cpus, std::string name)
+    : sim_(sim), cpus_(cpus), name_(std::move(name))
+{
+    assert(cpus >= 1);
+}
+
+void
+CpuPool::release()
+{
+    assert(busy_ > 0);
+    // Hand the CPU directly to the next waiter: busy_ stays constant.
+    if (!intr_waiters_.empty()) {
+        auto h = intr_waiters_.front();
+        intr_waiters_.pop_front();
+        h.resume();
+        return;
+    }
+    if (!normal_waiters_.empty()) {
+        auto h = normal_waiters_.front();
+        normal_waiters_.pop_front();
+        h.resume();
+        return;
+    }
+    --busy_;
+}
+
+sim::Tick
+CpuPool::totalBusyTime() const
+{
+    return std::accumulate(busy_time_.begin(), busy_time_.end(),
+                           sim::Tick{0});
+}
+
+double
+CpuPool::utilization() const
+{
+    const sim::Tick window = sim_.now() - window_start_;
+    if (window <= 0)
+        return 0.0;
+    return static_cast<double>(totalBusyTime()) /
+           (static_cast<double>(window) * cpus_);
+}
+
+double
+CpuPool::utilization(CpuCat cat) const
+{
+    const sim::Tick window = sim_.now() - window_start_;
+    if (window <= 0)
+        return 0.0;
+    return static_cast<double>(busyTime(cat)) /
+           (static_cast<double>(window) * cpus_);
+}
+
+void
+CpuPool::resetStats()
+{
+    busy_time_.fill(0);
+    window_start_ = sim_.now();
+}
+
+} // namespace v3sim::osmodel

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Host CPU pool with per-category time accounting.
+ *
+ * The pool is the source of the paper's CPU-utilization breakdowns
+ * (Figures 11 and 14): every piece of simulated host work runs while
+ * holding a CPU lease and charges its time to one of the categories
+ * the paper reports — SQL Server, OS kernel, lock synchronization,
+ * DSA, VI, other.
+ *
+ * Usage contract:
+ *  - acquire a lease (`co_await pool.acquire()`), possibly at
+ *    interrupt priority;
+ *  - while holding it, only advance time through `lease.run(d, cat)`
+ *    or SimLock operations (lock waits spin, so the CPU stays busy);
+ *  - never hold a lease across an I/O or network wait — release and
+ *    re-acquire instead (that is what a blocked thread does).
+ *
+ * Under this contract the per-category busy sums exactly tile the
+ * CPU-time the pool hands out, so breakdowns always add up.
+ */
+
+#ifndef V3SIM_OSMODEL_CPU_POOL_HH
+#define V3SIM_OSMODEL_CPU_POOL_HH
+
+#include <array>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace v3sim::osmodel
+{
+
+/** CPU-time categories, matching the paper's Figure 11 breakdown. */
+enum class CpuCat : uint8_t
+{
+    Sql,    ///< database transaction processing
+    Kernel, ///< OS kernel (I/O manager, interrupts, scheduling)
+    Lock,   ///< lock synchronization (waits + lock/unlock ops)
+    Dsa,    ///< the DSA layer itself
+    Vi,     ///< VI library/driver work (registration, doorbells)
+    Other,  ///< everything else (sockets, misc libraries)
+};
+
+constexpr size_t kCpuCatCount = 6;
+
+/** Printable category name. */
+const char *cpuCatName(CpuCat cat);
+
+class CpuPool;
+
+/**
+ * Possession of one CPU. Obtained from CpuPool::acquire(); must be
+ * released exactly once via CpuPool::release() (or the RAII helper
+ * CpuLeaseGuard below when the scope is simple).
+ */
+class CpuLease
+{
+  public:
+    CpuLease() = default;
+
+    bool valid() const { return pool_ != nullptr; }
+    CpuPool *pool() const { return pool_; }
+
+    /** Spends @p d of CPU time charged to @p cat. Awaitable. */
+    auto run(sim::Tick d, CpuCat cat);
+
+  private:
+    friend class CpuPool;
+    explicit CpuLease(CpuPool *pool) : pool_(pool) {}
+    CpuPool *pool_ = nullptr;
+};
+
+/** m CPUs with two-level priority admission (interrupts first). */
+class CpuPool
+{
+  public:
+    static constexpr int kInterruptPriority = 0;
+    static constexpr int kNormalPriority = 1;
+
+    CpuPool(sim::Simulation &sim, int cpus, std::string name = "");
+
+    CpuPool(const CpuPool &) = delete;
+    CpuPool &operator=(const CpuPool &) = delete;
+
+    int cpus() const { return cpus_; }
+    int busyCount() const { return busy_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Awaitable: resumes holding a CPU. Interrupt-priority waiters
+     * are admitted before normal ones.
+     */
+    auto
+    acquire(int priority = kNormalPriority)
+    {
+        struct Awaiter
+        {
+            CpuPool *pool;
+            int priority;
+
+            bool
+            await_ready() const
+            {
+                if (pool->busy_ < pool->cpus_) {
+                    pool->grant();
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h) const
+            {
+                if (priority == kInterruptPriority)
+                    pool->intr_waiters_.push_back(h);
+                else
+                    pool->normal_waiters_.push_back(h);
+            }
+
+            CpuLease await_resume() const { return CpuLease(pool); }
+        };
+        return Awaiter{this, priority};
+    }
+
+    /** Returns the CPU; wakes the highest-priority waiter, if any. */
+    void release();
+
+    /** Adds busy time to a category (used by CpuLease and SimLock). */
+    void
+    addBusy(CpuCat cat, sim::Tick d)
+    {
+        busy_time_[static_cast<size_t>(cat)] += d;
+    }
+
+    /** Accumulated busy time for @p cat since the last reset. */
+    sim::Tick
+    busyTime(CpuCat cat) const
+    {
+        return busy_time_[static_cast<size_t>(cat)];
+    }
+
+    /** Sum of all categories. */
+    sim::Tick totalBusyTime() const;
+
+    /** Busy fraction of the whole pool over [reset, now]. */
+    double utilization() const;
+
+    /** Fraction of pool capacity spent in @p cat over the window. */
+    double utilization(CpuCat cat) const;
+
+    /** Restarts the accounting window at the current time. */
+    void resetStats();
+
+    size_t waiterCount() const
+    {
+        return intr_waiters_.size() + normal_waiters_.size();
+    }
+
+  private:
+    friend class CpuLease;
+
+    void grant() { ++busy_; }
+
+    sim::Simulation &sim_;
+    int cpus_;
+    std::string name_;
+    int busy_ = 0;
+    std::deque<std::coroutine_handle<>> intr_waiters_;
+    std::deque<std::coroutine_handle<>> normal_waiters_;
+    std::array<sim::Tick, kCpuCatCount> busy_time_{};
+    sim::Tick window_start_ = 0;
+};
+
+inline auto
+CpuLease::run(sim::Tick d, CpuCat cat)
+{
+    struct Awaiter
+    {
+        CpuLease *lease;
+        sim::Tick d;
+        CpuCat cat;
+
+        bool await_ready() const { return d <= 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            lease->pool_->addBusy(cat, d);
+            lease->pool_->sim_.queue().schedule(d,
+                                                [h] { h.resume(); });
+        }
+
+        void await_resume() const {}
+    };
+    assert(valid());
+    return Awaiter{this, d, cat};
+}
+
+} // namespace v3sim::osmodel
+
+#endif // V3SIM_OSMODEL_CPU_POOL_HH

@@ -1,0 +1,70 @@
+#include "sim_lock.hh"
+
+#include <cassert>
+
+namespace v3sim::osmodel
+{
+
+namespace
+{
+
+/** Awaitable that parks the coroutine on the lock's wait queue. */
+struct LockWait
+{
+    SimLock *lock;
+    std::deque<std::coroutine_handle<>> *waiters;
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        waiters->push_back(h);
+    }
+
+    void await_resume() const {}
+};
+
+} // namespace
+
+SimLock::SimLock(sim::Simulation &sim, const HostCosts &costs,
+                 std::string name)
+    : sim_(sim), costs_(costs), name_(std::move(name))
+{}
+
+sim::Task<>
+SimLock::syncPair(CpuLease lease, CpuCat hold_cat, sim::Tick hold)
+{
+    assert(lease.valid());
+    if (hold < 0)
+        hold = costs_.lock_hold;
+
+    // The acquire atomic op always costs, contended or not.
+    co_await lease.run(costs_.lock_acquire, CpuCat::Lock);
+
+    acquisitions_.increment();
+    if (held_) {
+        contended_.increment();
+        const sim::Tick start = sim_.now();
+        co_await LockWait{this, &waiters_};
+        // We were handed the lock by the releaser; held_ stays true.
+        const sim::Tick waited = sim_.now() - start;
+        total_wait_ += waited;
+        lease.pool()->addBusy(CpuCat::Lock, waited);
+    } else {
+        held_ = true;
+    }
+
+    co_await lease.run(hold, hold_cat);
+    co_await lease.run(costs_.lock_release, CpuCat::Lock);
+
+    if (!waiters_.empty()) {
+        auto h = waiters_.front();
+        waiters_.pop_front();
+        h.resume(); // ownership transfers; held_ remains true
+    } else {
+        held_ = false;
+    }
+}
+
+} // namespace v3sim::osmodel

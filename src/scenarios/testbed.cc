@@ -1,0 +1,237 @@
+#include "testbed.hh"
+
+#include <cassert>
+
+namespace v3sim::scenarios
+{
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Local: return "Local";
+      case Backend::Kdsa: return "kDSA";
+      case Backend::Wdsa: return "wDSA";
+      case Backend::Cdsa: return "cDSA";
+    }
+    return "?";
+}
+
+dsa::DsaImpl
+backendImpl(Backend backend)
+{
+    switch (backend) {
+      case Backend::Kdsa: return dsa::DsaImpl::Kdsa;
+      case Backend::Wdsa: return dsa::DsaImpl::Wdsa;
+      case Backend::Cdsa: return dsa::DsaImpl::Cdsa;
+      case Backend::Local: break;
+    }
+    assert(false && "Local backend has no DSA implementation");
+    return dsa::DsaImpl::Kdsa;
+}
+
+HostParams
+HostParams::midSize()
+{
+    HostParams params;
+    params.cpus = 4;
+    params.costs = osmodel::HostCosts::midSize();
+    return params;
+}
+
+HostParams
+HostParams::large()
+{
+    HostParams params;
+    params.cpus = 32;
+    params.costs = osmodel::HostCosts::large();
+    return params;
+}
+
+StorageParams
+StorageParams::midSize()
+{
+    StorageParams params;
+    params.v3_nodes = 4;
+    params.disks_per_node = 15;
+    params.disk_spec = disk::DiskSpec::scsi10k();
+    // Table 2: 1.6 GB V3 cache per node, scaled by kTpccScale.
+    params.cache_bytes_per_node =
+        1600ull * util::kMiB / kTpccScale;
+    params.local_disks = 176; // Table 1
+    return params;
+}
+
+StorageParams
+StorageParams::large()
+{
+    StorageParams params;
+    params.v3_nodes = 8;
+    params.disks_per_node = 80;
+    params.disk_spec = disk::DiskSpec::fc15k();
+    // Table 2: 2.4 GB V3 cache per node, scaled.
+    params.cache_bytes_per_node =
+        2400ull * util::kMiB / kTpccScale;
+    params.local_disks = 640; // Table 1
+    return params;
+}
+
+Testbed::Testbed(Backend backend, HostParams host_params,
+                 StorageParams storage_params,
+                 dsa::DsaConfig dsa_config, uint64_t seed)
+    : backend_(backend),
+      storage_params_(storage_params),
+      sim_(seed),
+      fabric_(sim_.queue())
+{
+    host_ = std::make_unique<osmodel::Node>(
+        sim_, osmodel::NodeConfig{"db", host_params.cpus,
+                                  host_params.costs,
+                                  host_params.phantom_memory});
+
+    if (backend_ == Backend::Local) {
+        const int count =
+            storage_params_.local_disks > 0
+                ? storage_params_.local_disks
+                : storage_params_.v3_nodes *
+                      storage_params_.disks_per_node;
+        std::vector<disk::Volume *> parts;
+        for (int i = 0; i < count; ++i) {
+            local_disks_.push_back(std::make_unique<disk::Disk>(
+                sim_, storage_params_.disk_spec, sim_.forkRng(),
+                "local.d" + std::to_string(i),
+                disk::SchedPolicy::Elevator,
+                host_params.phantom_memory));
+            local_parts_.push_back(
+                std::make_unique<disk::SingleDiskVolume>(
+                    *local_disks_.back()));
+            parts.push_back(local_parts_.back().get());
+        }
+        local_volume_ = std::make_unique<disk::StripeVolume>(
+            parts, storage_params_.stripe_unit);
+        local_ = std::make_unique<dsa::LocalBackend>(*host_,
+                                                     *local_volume_);
+        device_ = local_.get();
+        return;
+    }
+
+    // V3 backend: one server per storage node, one client NIC per
+    // server, one DSA connection per pair; the database volume
+    // stripes across nodes.
+    std::vector<dsa::BlockDevice *> children;
+    for (int n = 0; n < storage_params_.v3_nodes; ++n) {
+        storage::V3ServerConfig server_config;
+        server_config.name = "v3." + std::to_string(n);
+        server_config.cache_bytes =
+            storage_params_.cache_bytes_per_node;
+        server_config.cache_policy = storage_params_.cache_policy;
+        server_config.request_credits =
+            storage_params_.request_credits;
+        server_config.staging_slots = storage_params_.staging_slots;
+        server_config.phantom_memory = host_params.phantom_memory;
+        auto server = std::make_unique<storage::V3Server>(
+            sim_, fabric_, server_config);
+        auto disks = server->diskManager().addDisks(
+            storage_params_.disk_spec,
+            server_config.name + ".d",
+            storage_params_.disks_per_node,
+            host_params.phantom_memory);
+        const uint32_t volume =
+            server->volumeManager().addStripedVolume(
+                disks, storage_params_.stripe_unit);
+        server->start();
+
+        nics_.push_back(std::make_unique<vi::ViNic>(
+            sim_, fabric_, host_->memory(),
+            "db.nic" + std::to_string(n)));
+        clients_.push_back(std::make_unique<dsa::DsaClient>(
+            backendImpl(backend_), *host_, *nics_.back(),
+            server->nic().port(), volume, dsa_config));
+        children.push_back(clients_.back().get());
+        servers_.push_back(std::move(server));
+    }
+    striped_ = std::make_unique<dsa::StripedDevice>(
+        children, storage_params_.stripe_unit);
+    device_ = striped_.get();
+}
+
+Testbed::~Testbed() = default;
+
+bool
+Testbed::connectAll()
+{
+    if (backend_ == Backend::Local)
+        return true;
+    bool all_ok = true;
+    int pending = static_cast<int>(clients_.size());
+    for (auto &client : clients_) {
+        sim::spawn([](dsa::DsaClient &c, bool &ok,
+                      int &remaining) -> sim::Task<> {
+            if (!co_await c.connect())
+                ok = false;
+            --remaining;
+        }(*client, all_ok, pending));
+    }
+    sim_.run();
+    return all_ok && pending == 0;
+}
+
+double
+Testbed::serverCacheHitRatio() const
+{
+    uint64_t hits = 0, misses = 0;
+    for (const auto &server : servers_) {
+        const storage::BlockCache *cache =
+            const_cast<storage::V3Server &>(*server).cache();
+        if (cache) {
+            hits += cache->hits();
+            misses += cache->misses();
+        }
+    }
+    const uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+double
+Testbed::diskUtilization() const
+{
+    double sum = 0;
+    int count = 0;
+    for (const auto &server : servers_) {
+        auto &manager =
+            const_cast<storage::V3Server &>(*server).diskManager();
+        for (size_t i = 0; i < manager.diskCount(); ++i) {
+            sum += manager.disk(i).utilization();
+            ++count;
+        }
+    }
+    for (const auto &d : local_disks_) {
+        sum += d->utilization();
+        ++count;
+    }
+    return count ? sum / count : 0.0;
+}
+
+uint64_t
+Testbed::hostInterrupts() const
+{
+    return const_cast<osmodel::Node &>(*host_)
+        .interrupts()
+        .interruptCount();
+}
+
+void
+Testbed::resetStats()
+{
+    host_->cpus().resetStats();
+    for (auto &client : clients_)
+        client->resetStats();
+    for (auto &server : servers_)
+        server->resetStats();
+    for (auto &d : local_disks_)
+        d->resetStats();
+    if (local_)
+        local_->resetStats();
+}
+
+} // namespace v3sim::scenarios

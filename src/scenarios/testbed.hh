@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Experiment testbeds: the paper's platforms, ready to assemble.
+ *
+ * A Testbed wires one database host to storage through a chosen
+ * backend:
+ *  - Local: the paper's baseline — the same disks attached directly
+ *    to the host behind the kernel driver stack;
+ *  - Kdsa / Wdsa / Cdsa: one or more V3 storage nodes reached over
+ *    the VI fabric, one client NIC per storage node (the paper's
+ *    NIC-per-node pairing), with the database volume striped across
+ *    nodes.
+ *
+ * Scaling note (documented in DESIGN.md): TPC-C testbeds shrink the
+ * working set and server caches by a common factor so the simulation
+ * holds millions of cache-metadata entries instead of billions of
+ * bytes. Hit ratios depend on the cache:working-set *ratio*, which
+ * the scaling preserves; disk counts, CPU counts and all path costs
+ * stay at paper scale.
+ */
+
+#ifndef V3SIM_SCENARIOS_TESTBED_HH
+#define V3SIM_SCENARIOS_TESTBED_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/disk_spec.hh"
+#include "disk/volume.hh"
+#include "dsa/block_device.hh"
+#include "dsa/dsa_client.hh"
+#include "dsa/local_backend.hh"
+#include "net/fabric.hh"
+#include "osmodel/node.hh"
+#include "sim/simulation.hh"
+#include "storage/v3_server.hh"
+
+namespace v3sim::scenarios
+{
+
+/** Storage attachment under test. */
+enum class Backend : uint8_t
+{
+    Local,
+    Kdsa,
+    Wdsa,
+    Cdsa,
+};
+
+const char *backendName(Backend backend);
+
+/** Maps Backend to the DSA implementation (not valid for Local). */
+dsa::DsaImpl backendImpl(Backend backend);
+
+/** Host-side parameters (Table 1). */
+struct HostParams
+{
+    int cpus = 4;
+    osmodel::HostCosts costs = osmodel::HostCosts::midSize();
+    bool phantom_memory = false;
+
+    static HostParams midSize();
+    static HostParams large();
+};
+
+/** Storage-side parameters (Table 2). */
+struct StorageParams
+{
+    int v3_nodes = 4;
+    int disks_per_node = 15;
+    disk::DiskSpec disk_spec = disk::DiskSpec::scsi10k();
+    uint64_t cache_bytes_per_node = 200 * util::kMiB;
+    storage::CachePolicy cache_policy = storage::CachePolicy::Mq;
+    uint64_t stripe_unit = 64 * util::kKiB;
+    /** Local backend: total directly attached disks (Fig 13 sweeps
+     *  this); 0 means v3_nodes * disks_per_node. */
+    int local_disks = 0;
+    uint32_t request_credits = 64;
+    uint32_t staging_slots = 32;
+
+    /** Mid-size: 4 nodes x 15 SCSI disks, 1.6 GB cache per node
+     *  (scaled by kTpccScale). */
+    static StorageParams midSize();
+
+    /** Large: 8 nodes x 80 FC disks, 2.4 GB cache per node
+     *  (scaled). */
+    static StorageParams large();
+};
+
+/** Working-set / cache scale factor for TPC-C testbeds (see file
+ *  comment). */
+constexpr uint64_t kTpccScale = 32;
+
+/** One assembled experiment platform. */
+class Testbed
+{
+  public:
+    Testbed(Backend backend, HostParams host_params,
+            StorageParams storage_params,
+            dsa::DsaConfig dsa_config = {}, uint64_t seed = 1);
+
+    Testbed(const Testbed &) = delete;
+    Testbed &operator=(const Testbed &) = delete;
+    ~Testbed();
+
+    /** Connects every DSA client (no-op for Local). Run to ready. */
+    bool connectAll();
+
+    sim::Simulation &sim() { return sim_; }
+    net::Fabric &fabric() { return fabric_; }
+    osmodel::Node &host() { return *host_; }
+    Backend backend() const { return backend_; }
+
+    /** The database-facing device (striped across V3 nodes, or the
+     *  local volume). */
+    dsa::BlockDevice &device() { return *device_; }
+
+    std::vector<std::unique_ptr<storage::V3Server>> &servers()
+    {
+        return servers_;
+    }
+
+    std::vector<std::unique_ptr<dsa::DsaClient>> &clients()
+    {
+        return clients_;
+    }
+
+    dsa::LocalBackend *local() { return local_.get(); }
+
+    /** Read hit ratio across all V3 server caches. */
+    double serverCacheHitRatio() const;
+
+    /** Mean disk utilization across all storage spindles. */
+    double diskUtilization() const;
+
+    /** Interrupts taken on the host since construction. */
+    uint64_t hostInterrupts() const;
+
+    /** Resets all statistics (host CPUs, clients, servers, disks). */
+    void resetStats();
+
+  private:
+    Backend backend_;
+    StorageParams storage_params_;
+    sim::Simulation sim_;
+    net::Fabric fabric_;
+    std::unique_ptr<osmodel::Node> host_;
+
+    std::vector<std::unique_ptr<storage::V3Server>> servers_;
+    std::vector<std::unique_ptr<vi::ViNic>> nics_;
+    std::vector<std::unique_ptr<dsa::DsaClient>> clients_;
+    std::unique_ptr<dsa::StripedDevice> striped_;
+
+    std::vector<std::unique_ptr<disk::Disk>> local_disks_;
+    std::vector<std::unique_ptr<disk::SingleDiskVolume>> local_parts_;
+    std::unique_ptr<disk::StripeVolume> local_volume_;
+    std::unique_ptr<dsa::LocalBackend> local_;
+
+    dsa::BlockDevice *device_ = nullptr;
+};
+
+} // namespace v3sim::scenarios
+
+#endif // V3SIM_SCENARIOS_TESTBED_HH

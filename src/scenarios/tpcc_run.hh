@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The TPC-C experiment harness: assembles a platform (Tables 1/2), a
+ * workload (section 6) and the database engine, runs a measurement
+ * window, and reports the quantities the paper's Figures 9-14 plot.
+ */
+
+#ifndef V3SIM_SCENARIOS_TPCC_RUN_HH
+#define V3SIM_SCENARIOS_TPCC_RUN_HH
+
+#include <array>
+#include <cstdint>
+
+#include "db/oltp_engine.hh"
+#include "scenarios/testbed.hh"
+#include "tpcc/workload.hh"
+
+namespace v3sim::scenarios
+{
+
+/** Platform selector. */
+enum class Platform : uint8_t
+{
+    MidSize,
+    Large,
+};
+
+/** One TPC-C experiment description. */
+struct TpccRunConfig
+{
+    Backend backend = Backend::Cdsa;
+    Platform platform = Platform::MidSize;
+    dsa::DsaOptimizations opts = dsa::DsaOptimizations::all();
+    storage::CachePolicy cache_policy = storage::CachePolicy::Mq;
+
+    /** Local backend: directly attached disk count (Figure 13
+     *  sweeps this); 0 keeps the platform default. */
+    int local_disks = 0;
+
+    /** 0 = platform default worker count. */
+    int workers = 0;
+
+    sim::Tick warmup = sim::msecs(300);
+    sim::Tick window = sim::msecs(1500);
+    uint64_t seed = 1;
+
+    /** Optional DSA overrides for ablation sweeps (0 = default). */
+    uint32_t intr_high_watermark = 0;
+    uint32_t intr_low_watermark = 0;
+    sim::Tick poll_interval = 0;
+    uint32_t flow_credits = 0;
+    int kdsa_extra_layers = 0;
+};
+
+/** Everything the figures need from one run. */
+struct TpccRunResult
+{
+    db::OltpResult oltp;
+    /** V3 server cache read-hit ratio (0 for Local). */
+    double server_cache_hit = 0;
+    double disk_utilization = 0;
+    uint64_t host_interrupts = 0;
+    uint64_t retransmits = 0;
+};
+
+/** Platform-default workload parameters (warehouses, skew, demand),
+ *  scaled by kTpccScale (see testbed.hh). */
+tpcc::TpccConfig platformWorkload(Platform platform);
+
+/** Platform-default engine parameters. */
+db::OltpConfig platformEngine(Platform platform, Backend backend,
+                              const dsa::DsaOptimizations &opts =
+                                  dsa::DsaOptimizations::all());
+
+/** Runs one TPC-C experiment end to end. */
+TpccRunResult runTpcc(const TpccRunConfig &config);
+
+} // namespace v3sim::scenarios
+
+#endif // V3SIM_SCENARIOS_TPCC_RUN_HH

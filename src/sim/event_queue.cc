@@ -1,0 +1,67 @@
+#include "event_queue.hh"
+
+#include <utility>
+
+namespace v3sim::sim
+{
+
+EventQueue::Handle
+EventQueue::schedule(Tick delay, std::function<void()> fn)
+{
+    if (delay < 0)
+        delay = 0;
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventQueue::Handle
+EventQueue::scheduleAt(Tick when, std::function<void()> fn)
+{
+    if (when < now_)
+        when = now_;
+    auto control = std::make_shared<Handle::Control>();
+    heap_.push(Event{when, next_seq_++, std::move(fn), control});
+    ++pending_;
+    return Handle(std::move(control));
+}
+
+void
+EventQueue::fireNext()
+{
+    // priority_queue::top() is const; the event must be moved out, so
+    // const_cast the known-mutable storage before popping.
+    Event event = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    --pending_;
+    now_ = event.when;
+    event.control->fired = true;
+    if (!event.control->cancelled) {
+        ++fired_total_;
+        event.fn();
+    }
+}
+
+size_t
+EventQueue::run(size_t max_events)
+{
+    size_t fired = 0;
+    while (!heap_.empty() && fired < max_events) {
+        fireNext();
+        ++fired;
+    }
+    return fired;
+}
+
+size_t
+EventQueue::runUntil(Tick until)
+{
+    size_t fired = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        fireNext();
+        ++fired;
+    }
+    if (now_ < until)
+        now_ = until;
+    return fired;
+}
+
+} // namespace v3sim::sim

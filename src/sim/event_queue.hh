@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The discrete-event queue at the core of the simulator.
+ *
+ * Events are (time, callback) pairs ordered by time with FIFO
+ * tie-breaking via a monotonically increasing sequence number, which
+ * makes runs fully deterministic for a given seed. Events can be
+ * cancelled through the Handle returned at scheduling time (used by
+ * DSA retransmission timers, cDSA poll-timeout fallbacks, etc.).
+ */
+
+#ifndef V3SIM_SIM_EVENT_QUEUE_HH
+#define V3SIM_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace v3sim::sim
+{
+
+/** Min-heap of timed callbacks with deterministic ordering. */
+class EventQueue
+{
+  public:
+    /**
+     * Cancellation handle for a scheduled event. Default-constructed
+     * handles are inert. Cancelling an already-fired event is a
+     * harmless no-op.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** Prevents the event from firing if it has not fired yet. */
+        void
+        cancel()
+        {
+            if (auto ctl = control_.lock())
+                ctl->cancelled = true;
+        }
+
+        /** True if the event is still scheduled and not cancelled. */
+        bool
+        pending() const
+        {
+            auto ctl = control_.lock();
+            return ctl && !ctl->cancelled && !ctl->fired;
+        }
+
+      private:
+        friend class EventQueue;
+
+        struct Control
+        {
+            bool cancelled = false;
+            bool fired = false;
+        };
+
+        explicit Handle(std::shared_ptr<Control> control)
+            : control_(std::move(control))
+        {}
+
+        std::weak_ptr<Control> control_;
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedules @p fn to run @p delay after now. Negative delays clamp
+     *  to zero (fires this tick, after already-queued same-time events).
+     */
+    Handle schedule(Tick delay, std::function<void()> fn);
+
+    /** Schedules @p fn at absolute time @p when (>= now, else clamped). */
+    Handle scheduleAt(Tick when, std::function<void()> fn);
+
+    /** Number of events scheduled but not yet fired or cancelled. */
+    size_t pendingCount() const { return pending_; }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return pending_ == 0; }
+
+    /**
+     * Runs events until the queue drains or @p max_events fire.
+     * @return the number of events fired.
+     */
+    size_t run(size_t max_events = SIZE_MAX);
+
+    /**
+     * Runs all events with time <= @p until; afterwards now() == until
+     * (unless the queue drained past it first, in which case now() is
+     * still advanced to @p until).
+     * @return the number of events fired.
+     */
+    size_t runUntil(Tick until);
+
+    /** Total events fired over the queue's lifetime. */
+    uint64_t firedCount() const { return fired_total_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<Handle::Control> control;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pops and fires the next event. Precondition: !heap_.empty(). */
+    void fireNext();
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    uint64_t next_seq_ = 0;
+    size_t pending_ = 0;
+    uint64_t fired_total_ = 0;
+};
+
+} // namespace v3sim::sim
+
+#endif // V3SIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,153 @@
+#include "memory.hh"
+
+#include <cstring>
+
+namespace v3sim::sim
+{
+
+MemorySpace::MemorySpace(bool phantom, std::string name)
+    : phantom_(phantom), name_(std::move(name))
+{}
+
+Addr
+MemorySpace::allocate(uint64_t len)
+{
+    if (len == 0)
+        return kNullAddr;
+    const Addr base = next_;
+    // Bump by a page-rounded size so allocations never share pages.
+    const uint64_t rounded =
+        (len + kPageSize - 1) / kPageSize * kPageSize;
+    next_ += rounded;
+    Block block;
+    block.len = len;
+    if (!phantom_)
+        block.bytes.assign(len, 0);
+    blocks_.emplace(base, std::move(block));
+    allocated_bytes_ += len;
+    return base;
+}
+
+void
+MemorySpace::free(Addr base)
+{
+    auto it = blocks_.find(base);
+    if (it == blocks_.end())
+        return;
+    allocated_bytes_ -= it->second.len;
+    blocks_.erase(it);
+}
+
+const MemorySpace::Block *
+MemorySpace::findBlock(Addr addr, uint64_t len, Addr *base) const
+{
+    if (addr == kNullAddr || blocks_.empty())
+        return nullptr;
+    auto it = blocks_.upper_bound(addr);
+    if (it == blocks_.begin())
+        return nullptr;
+    --it;
+    const Addr block_base = it->first;
+    const Block &block = it->second;
+    if (addr < block_base || addr - block_base > block.len ||
+        len > block.len - (addr - block_base)) {
+        return nullptr;
+    }
+    if (base)
+        *base = block_base;
+    return &block;
+}
+
+bool
+MemorySpace::contains(Addr addr, uint64_t len) const
+{
+    return findBlock(addr, len, nullptr) != nullptr;
+}
+
+bool
+MemorySpace::write(Addr addr, const void *src, uint64_t len)
+{
+    Addr base;
+    const Block *block = findBlock(addr, len, &base);
+    if (!block)
+        return false;
+    if (!phantom_ && len > 0) {
+        auto *mutable_block = const_cast<Block *>(block);
+        std::memcpy(mutable_block->bytes.data() + (addr - base), src,
+                    len);
+    }
+    return true;
+}
+
+bool
+MemorySpace::read(Addr addr, void *dst, uint64_t len) const
+{
+    Addr base;
+    const Block *block = findBlock(addr, len, &base);
+    if (!block)
+        return false;
+    if (len == 0)
+        return true;
+    if (phantom_)
+        std::memset(dst, 0, len);
+    else
+        std::memcpy(dst, block->bytes.data() + (addr - base), len);
+    return true;
+}
+
+bool
+MemorySpace::fill(Addr addr, uint8_t value, uint64_t len)
+{
+    Addr base;
+    const Block *block = findBlock(addr, len, &base);
+    if (!block)
+        return false;
+    if (!phantom_ && len > 0) {
+        auto *mutable_block = const_cast<Block *>(block);
+        std::memset(mutable_block->bytes.data() + (addr - base), value,
+                    len);
+    }
+    return true;
+}
+
+bool
+MemorySpace::copy(const MemorySpace &src, Addr src_addr,
+                  MemorySpace &dst, Addr dst_addr, uint64_t len)
+{
+    if (!src.contains(src_addr, len) || !dst.contains(dst_addr, len))
+        return false;
+    if (len == 0 || dst.phantom_)
+        return true;
+    if (src.phantom_)
+        return dst.fill(dst_addr, 0, len);
+
+    // Both real: copy through a bounded stack buffer to avoid a large
+    // temporary; ranges never overlap because they are distinct
+    // address spaces (or distinct allocations within one space).
+    uint8_t chunk[4096];
+    uint64_t done = 0;
+    while (done < len) {
+        const uint64_t n =
+            std::min<uint64_t>(sizeof(chunk), len - done);
+        src.read(src_addr + done, chunk, n);
+        dst.write(dst_addr + done, chunk, n);
+        done += n;
+    }
+    return true;
+}
+
+uint64_t
+MemorySpace::readU64(Addr addr) const
+{
+    uint64_t value = 0;
+    read(addr, &value, sizeof(value));
+    return value;
+}
+
+bool
+MemorySpace::writeU64(Addr addr, uint64_t value)
+{
+    return write(addr, &value, sizeof(value));
+}
+
+} // namespace v3sim::sim

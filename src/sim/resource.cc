@@ -1,0 +1,67 @@
+#include "resource.hh"
+
+#include <utility>
+
+namespace v3sim::sim
+{
+
+ServerPool::ServerPool(EventQueue &queue, int servers, std::string name)
+    : queue_(queue), servers_(servers), name_(std::move(name))
+{
+    assert(servers >= 1);
+    busy_integral_.reset(queue_.now(), 0.0);
+}
+
+void
+ServerPool::submit(Tick service, std::function<void()> done)
+{
+    Job job{service, queue_.now(), std::move(done)};
+    if (busy_ < servers_) {
+        startJob(std::move(job));
+    } else {
+        waiting_.push_back(std::move(job));
+    }
+}
+
+void
+ServerPool::startJob(Job job)
+{
+    ++busy_;
+    busy_integral_.set(queue_.now(), static_cast<double>(busy_));
+    wait_stats_.add(static_cast<double>(queue_.now() - job.enqueued));
+    queue_.schedule(job.service,
+                    [this, done = std::move(job.done)]() mutable {
+                        onJobDone(std::move(done));
+                    });
+}
+
+void
+ServerPool::onJobDone(std::function<void()> done)
+{
+    --busy_;
+    busy_integral_.set(queue_.now(), static_cast<double>(busy_));
+    ++completed_;
+    if (!waiting_.empty()) {
+        Job next = std::move(waiting_.front());
+        waiting_.pop_front();
+        startJob(std::move(next));
+    }
+    done();
+}
+
+double
+ServerPool::utilization() const
+{
+    return busy_integral_.average(queue_.now()) /
+           static_cast<double>(servers_);
+}
+
+void
+ServerPool::resetStats()
+{
+    busy_integral_.reset(queue_.now(), static_cast<double>(busy_));
+    wait_stats_.reset();
+    completed_ = 0;
+}
+
+} // namespace v3sim::sim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Queued-resource primitives: ServerPool and Semaphore.
+ *
+ * ServerPool models m identical servers with FIFO admission and a
+ * caller-supplied service time per job — the workhorse behind NIC DMA
+ * engines, network links, disk mechanisms, and the V3 server's
+ * pipeline stages. Semaphore is a counted, FIFO-fair gate used for
+ * flow-control credits and bounded queues.
+ */
+
+#ifndef V3SIM_SIM_RESOURCE_HH
+#define V3SIM_SIM_RESOURCE_HH
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace v3sim::sim
+{
+
+/**
+ * m identical servers with a FIFO queue. Jobs carry their own service
+ * time; completion is signalled by callback or by awaiting use().
+ */
+class ServerPool
+{
+  public:
+    /**
+     * @param queue the simulation event queue.
+     * @param servers number of parallel servers (>= 1).
+     * @param name used in statistics dumps.
+     */
+    ServerPool(EventQueue &queue, int servers, std::string name = "");
+
+    /** Enqueues a job; @p done fires when its service completes. */
+    void submit(Tick service, std::function<void()> done);
+
+    /** Awaitable submission: co_await pool.use(service). */
+    auto
+    use(Tick service)
+    {
+        struct Awaiter
+        {
+            ServerPool *pool;
+            Tick service;
+
+            bool await_ready() const { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h) const
+            {
+                pool->submit(service, [h] { h.resume(); });
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{this, service};
+    }
+
+    int servers() const { return servers_; }
+    int busy() const { return busy_; }
+    size_t queuedCount() const { return waiting_.size(); }
+    const std::string &name() const { return name_; }
+
+    /** Fraction of server-capacity busy over the observed window. */
+    double utilization() const;
+
+    /** Distribution of time jobs spent waiting for a server (ns). */
+    const Sampler &waitStats() const { return wait_stats_; }
+
+    /** Jobs completed so far. */
+    uint64_t completedCount() const { return completed_; }
+
+    /** Restarts utilization/wait observation at the current time. */
+    void resetStats();
+
+  private:
+    struct Job
+    {
+        Tick service;
+        Tick enqueued;
+        std::function<void()> done;
+    };
+
+    void startJob(Job job);
+    void onJobDone(std::function<void()> done);
+
+    EventQueue &queue_;
+    int servers_;
+    std::string name_;
+    int busy_ = 0;
+    std::deque<Job> waiting_;
+    TimeWeighted busy_integral_;
+    Sampler wait_stats_;
+    uint64_t completed_ = 0;
+};
+
+/**
+ * Counted, FIFO-fair semaphore with coroutine acquire.
+ * release() hands counts directly to the oldest waiters.
+ */
+class Semaphore
+{
+  public:
+    explicit Semaphore(int64_t initial) : count_(initial)
+    {
+        assert(initial >= 0);
+    }
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    int64_t available() const { return count_; }
+    size_t waiterCount() const { return waiters_.size(); }
+
+    /** Takes one count without blocking; false if none available. */
+    bool
+    tryAcquire()
+    {
+        if (count_ > 0) {
+            --count_;
+            return true;
+        }
+        return false;
+    }
+
+    /** Awaitable acquire of one count. */
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Semaphore *sem;
+
+            bool
+            await_ready() const
+            {
+                if (sem->count_ > 0) {
+                    --sem->count_;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h) const
+            {
+                sem->waiters_.push_back(h);
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{this};
+    }
+
+    /** Returns @p n counts, waking up to n waiters (FIFO). */
+    void
+    release(int64_t n = 1)
+    {
+        while (n > 0 && !waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            --n;
+            h.resume();
+        }
+        count_ += n;
+    }
+
+  private:
+    int64_t count_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace v3sim::sim
+
+#endif // V3SIM_SIM_RESOURCE_HH

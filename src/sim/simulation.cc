@@ -1,0 +1,19 @@
+#include "simulation.hh"
+
+#include "util/logging.hh"
+
+namespace v3sim::sim
+{
+
+Simulation::Simulation(uint64_t seed) : rng_(seed)
+{
+    util::Logger::instance().setTimeSource(
+        [this] { return queue_.now(); });
+}
+
+Simulation::~Simulation()
+{
+    util::Logger::instance().setTimeSource(nullptr);
+}
+
+} // namespace v3sim::sim

@@ -1,0 +1,104 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v3sim::sim
+{
+
+void
+Sampler::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    sumsq_ += sample * sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+double
+Sampler::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumsq_ / count_ - m * m;
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Sampler::reset()
+{
+    *this = Sampler();
+}
+
+void
+Histogram::add(double value)
+{
+    int bucket = 0;
+    if (value >= 1.0) {
+        bucket = static_cast<int>(std::floor(std::log2(value)));
+        bucket = std::clamp(bucket, 0, kBuckets - 1);
+    }
+    ++buckets_[static_cast<size_t>(bucket)];
+    ++count_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += buckets_[static_cast<size_t>(b)];
+        if (seen > target) {
+            // Bucket midpoint: [2^b, 2^(b+1)) -> 1.5 * 2^b.
+            return b == 0 ? 1.0 : 1.5 * std::exp2(b);
+        }
+    }
+    return std::exp2(kBuckets - 1);
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+}
+
+void
+TimeWeighted::set(Tick now, double value)
+{
+    if (now > last_) {
+        integral_ += current_ * static_cast<double>(now - last_);
+        last_ = now;
+    }
+    current_ = value;
+}
+
+double
+TimeWeighted::average(Tick now) const
+{
+    const Tick span = now - start_;
+    if (span <= 0)
+        return current_;
+    double integral = integral_;
+    if (now > last_)
+        integral += current_ * static_cast<double>(now - last_);
+    return integral / static_cast<double>(span);
+}
+
+void
+TimeWeighted::reset(Tick now, double value)
+{
+    current_ = value;
+    integral_ = 0.0;
+    start_ = now;
+    last_ = now;
+}
+
+} // namespace v3sim::sim

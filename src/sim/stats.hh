@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Statistics primitives used throughout the simulator.
+ *
+ * Four shapes cover everything the experiments need:
+ *  - Counter: monotone event counts (I/Os issued, interrupts taken).
+ *  - Sampler: scalar samples with mean/min/max/stddev (latencies).
+ *  - Histogram: fixed log2 buckets with percentile queries.
+ *  - TimeWeighted: a value integrated over simulated time
+ *    (queue depths, utilizations).
+ */
+
+#ifndef V3SIM_SIM_STATS_HH
+#define V3SIM_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace v3sim::sim
+{
+
+/** Monotone event counter. */
+class Counter
+{
+  public:
+    void increment(uint64_t by = 1) { value_ += by; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Scalar sample accumulator: mean, min, max, stddev. */
+class Sampler
+{
+  public:
+    void add(double sample);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over non-negative values with 64 log2 buckets
+ * (bucket b holds values in [2^b, 2^(b+1)); values < 1 go to bucket
+ * 0). Percentiles are answered at bucket midpoints, which is plenty
+ * for latency-distribution shape checks.
+ */
+class Histogram
+{
+  public:
+    void add(double value);
+
+    uint64_t count() const { return count_; }
+
+    /** Approximate value at quantile @p q in [0, 1]. */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    static constexpr int kBuckets = 64;
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+};
+
+/**
+ * Integrates a piecewise-constant value over simulated time.
+ * Typical uses: average queue depth, busy-fraction of a resource.
+ */
+class TimeWeighted
+{
+  public:
+    /** Records that the value changed to @p value at time @p now. */
+    void set(Tick now, double value);
+
+    /** Adds @p delta to the current value at time @p now. */
+    void adjust(Tick now, double delta) { set(now, current_ + delta); }
+
+    double current() const { return current_; }
+
+    /** Time-average of the value over [start, now]. */
+    double average(Tick now) const;
+
+    /** Resets integration to start at @p now with value @p value. */
+    void reset(Tick now, double value = 0.0);
+
+  private:
+    double current_ = 0.0;
+    double integral_ = 0.0;
+    Tick start_ = 0;
+    Tick last_ = 0;
+};
+
+} // namespace v3sim::sim
+
+#endif // V3SIM_SIM_STATS_HH

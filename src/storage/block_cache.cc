@@ -1,0 +1,110 @@
+#include "block_cache.hh"
+
+#include <cassert>
+
+namespace v3sim::storage
+{
+
+BlockCache::BlockCache(sim::MemorySpace &memory, uint64_t block_size,
+                       uint64_t capacity_blocks)
+    : block_size_(block_size), capacity_(capacity_blocks)
+{
+    assert(block_size_ > 0);
+    assert(capacity_ > 0);
+    base_ = memory.allocate(block_size_ * capacity_);
+    assert(base_ != sim::kNullAddr);
+}
+
+LruCache::LruCache(sim::MemorySpace &memory, uint64_t block_size,
+                   uint64_t capacity_blocks)
+    : BlockCache(memory, block_size, capacity_blocks)
+{
+    free_frames_.reserve(capacity_);
+    for (uint64_t i = 0; i < capacity_; ++i)
+        free_frames_.push_back(capacity_ - 1 - i);
+}
+
+std::optional<sim::Addr>
+LruCache::lookupAndPin(CacheKey key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        recordMiss();
+        return std::nullopt;
+    }
+    recordHit();
+    // Move to MRU position.
+    lru_.splice(lru_.end(), lru_, it->second);
+    it->second = std::prev(lru_.end());
+    ++it->second->pins;
+    return frameAddr(it->second->frame);
+}
+
+std::optional<uint64_t>
+LruCache::evictOne()
+{
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->pins == 0) {
+            const uint64_t frame = it->frame;
+            map_.erase(it->key);
+            lru_.erase(it);
+            return frame;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<sim::Addr>
+LruCache::insertAndPin(CacheKey key)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.end(), lru_, it->second);
+        it->second = std::prev(lru_.end());
+        ++it->second->pins;
+        return frameAddr(it->second->frame);
+    }
+
+    uint64_t frame;
+    if (!free_frames_.empty()) {
+        frame = free_frames_.back();
+        free_frames_.pop_back();
+    } else {
+        const auto victim = evictOne();
+        if (!victim.has_value())
+            return std::nullopt; // every frame pinned
+        frame = *victim;
+    }
+    lru_.push_back(Entry{key, frame, 1});
+    map_[key] = std::prev(lru_.end());
+    return frameAddr(frame);
+}
+
+void
+LruCache::unpin(CacheKey key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return;
+    assert(it->second->pins > 0);
+    --it->second->pins;
+}
+
+void
+LruCache::invalidate(CacheKey key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second->pins > 0)
+        return;
+    free_frames_.push_back(it->second->frame);
+    lru_.erase(it->second);
+    map_.erase(it);
+}
+
+bool
+LruCache::contains(CacheKey key) const
+{
+    return map_.find(key) != map_.end();
+}
+
+} // namespace v3sim::storage

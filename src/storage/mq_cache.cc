@@ -1,0 +1,181 @@
+#include "mq_cache.hh"
+
+#include <cassert>
+
+namespace v3sim::storage
+{
+
+MqCache::MqCache(sim::MemorySpace &memory, uint64_t block_size,
+                 uint64_t capacity_blocks, MqConfig config)
+    : BlockCache(memory, block_size, capacity_blocks),
+      config_(config),
+      life_time_(config.life_time ? config.life_time
+                                  : 2 * capacity_blocks),
+      queues_(config.queue_count),
+      ghost_capacity_(static_cast<uint64_t>(
+          static_cast<double>(capacity_blocks) * config.ghost_ratio))
+{
+    assert(config_.queue_count >= 1);
+    free_frames_.reserve(capacity_);
+    for (uint64_t i = 0; i < capacity_; ++i)
+        free_frames_.push_back(capacity_ - 1 - i);
+}
+
+uint32_t
+MqCache::queueFor(uint64_t freq) const
+{
+    uint32_t q = 0;
+    while (freq > 1 && q + 1 < config_.queue_count) {
+        freq >>= 1;
+        ++q;
+    }
+    return q;
+}
+
+void
+MqCache::adjust()
+{
+    // Amortized demotion: inspect the head of each non-bottom queue
+    // once per access, demoting it if its lifetime expired.
+    for (uint32_t q = 1; q < queues_.size(); ++q) {
+        QueueList &queue = queues_[q];
+        if (queue.empty())
+            continue;
+        Entry &head = queue.front();
+        if (head.expire < now_ && head.pins == 0) {
+            head.queue = q - 1;
+            head.expire = now_ + life_time_;
+            QueueList &lower = queues_[q - 1];
+            lower.splice(lower.end(), queue, queue.begin());
+            map_[lower.back().key] = std::prev(lower.end());
+        }
+    }
+}
+
+void
+MqCache::requeue(QueueList::iterator it)
+{
+    const uint32_t target = queueFor(it->freq);
+    it->expire = now_ + life_time_;
+    QueueList &from = queues_[it->queue];
+    QueueList &to = queues_[target];
+    it->queue = target;
+    to.splice(to.end(), from, it);
+    map_[it->key] = it; // iterator stays valid across splice
+}
+
+std::optional<sim::Addr>
+MqCache::lookupAndPin(CacheKey key)
+{
+    ++now_;
+    adjust();
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        recordMiss();
+        return std::nullopt;
+    }
+    recordHit();
+    auto entry = it->second;
+    ++entry->freq;
+    requeue(entry);
+    ++entry->pins;
+    return frameAddr(entry->frame);
+}
+
+std::optional<uint64_t>
+MqCache::evictOne()
+{
+    for (auto &queue : queues_) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (it->pins != 0)
+                continue;
+            const uint64_t frame = it->frame;
+            remember(it->key, it->freq);
+            map_.erase(it->key);
+            queue.erase(it);
+            return frame;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+MqCache::remember(CacheKey key, uint64_t freq)
+{
+    if (ghost_capacity_ == 0)
+        return;
+    if (ghost_map_.find(key) == ghost_map_.end()) {
+        while (ghost_fifo_.size() >= ghost_capacity_) {
+            ghost_map_.erase(ghost_fifo_.front());
+            ghost_fifo_.pop_front();
+        }
+        ghost_fifo_.push_back(key);
+    }
+    ghost_map_[key] = freq;
+}
+
+std::optional<sim::Addr>
+MqCache::insertAndPin(CacheKey key)
+{
+    ++now_;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++it->second->pins;
+        return frameAddr(it->second->frame);
+    }
+
+    uint64_t frame;
+    if (!free_frames_.empty()) {
+        frame = free_frames_.back();
+        free_frames_.pop_back();
+    } else {
+        const auto victim = evictOne();
+        if (!victim.has_value())
+            return std::nullopt;
+        frame = *victim;
+    }
+
+    Entry entry;
+    entry.key = key;
+    entry.frame = frame;
+    entry.pins = 1;
+    // Resume the block's remembered standing, if any (ghost hit).
+    auto ghost = ghost_map_.find(key);
+    entry.freq = ghost != ghost_map_.end() ? ghost->second + 1 : 1;
+    entry.expire = now_ + life_time_;
+    entry.queue = queueFor(entry.freq);
+
+    QueueList &queue = queues_[entry.queue];
+    queue.push_back(entry);
+    map_[key] = std::prev(queue.end());
+    return frameAddr(frame);
+}
+
+void
+MqCache::unpin(CacheKey key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return;
+    assert(it->second->pins > 0);
+    --it->second->pins;
+}
+
+void
+MqCache::invalidate(CacheKey key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second->pins > 0)
+        return;
+    free_frames_.push_back(it->second->frame);
+    queues_[it->second->queue].erase(it->second);
+    map_.erase(it);
+}
+
+bool
+MqCache::contains(CacheKey key) const
+{
+    return map_.find(key) != map_.end();
+}
+
+} // namespace v3sim::storage

@@ -1,0 +1,677 @@
+#include "v3_server.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hh"
+
+namespace v3sim::storage
+{
+
+using osmodel::CpuCat;
+using osmodel::CpuLease;
+
+namespace
+{
+
+/** Rounds @p value down to a multiple of @p align. */
+uint64_t
+alignDown(uint64_t value, uint64_t align)
+{
+    return value / align * align;
+}
+
+/** Rounds @p value up to a multiple of @p align. */
+uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) / align * align;
+}
+
+constexpr uint64_t kSector = disk::DiskStore::kSectorSize;
+
+} // namespace
+
+V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
+                   V3ServerConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      node_(sim, osmodel::NodeConfig{config_.name, config_.cpus,
+                                     config_.host_costs,
+                                     config_.phantom_memory}),
+      disks_(sim)
+{
+    // The server manages its own NIC registration: the cache, the
+    // staging areas and the message buffers are registered once at
+    // startup, so the NIC must admit the whole footprint (the server
+    // side of section 3.1's registration problem — a server-class
+    // configuration, unlike the 1 GB client cLan default).
+    vi::ViCosts nic_costs;
+    nic_costs.max_registered_bytes =
+        config_.cache_bytes + 64ull * 1024 * 1024 +
+        32ull * config_.staging_slots * config_.staging_slot_bytes;
+    nic_ = std::make_unique<vi::ViNic>(sim, fabric, node_.memory(),
+                                       config_.name + ".nic",
+                                       nic_costs);
+
+    if (config_.cache_bytes >= config_.block_size) {
+        const uint64_t blocks = config_.cache_bytes / config_.block_size;
+        if (config_.cache_policy == CachePolicy::Mq) {
+            cache_ = std::make_unique<MqCache>(node_.memory(),
+                                               config_.block_size,
+                                               blocks, config_.mq);
+        } else {
+            cache_ = std::make_unique<LruCache>(node_.memory(),
+                                                config_.block_size,
+                                                blocks);
+        }
+        const auto reg = nic_->registry().registerMemory(
+            cache_->frameBase(), cache_->frameBytes(),
+            /*pre_pinned=*/true);
+        assert(reg.has_value() && "cache must fit the server NIC");
+        cache_handle_ = reg->handle;
+    }
+}
+
+void
+V3Server::start()
+{
+    nic_->setAcceptHandler(
+        [this](net::PortId remote_port, vi::EndpointId remote_ep) {
+            return accept(remote_port, remote_ep);
+        });
+}
+
+vi::ViEndpoint *
+V3Server::accept(net::PortId, vi::EndpointId)
+{
+    auto conn = std::make_unique<Connection>();
+    conn->id = static_cast<uint32_t>(connections_.size());
+    const std::string base =
+        config_.name + ".c" + std::to_string(conn->id);
+    conn->recv_cq =
+        std::make_unique<vi::CompletionQueue>(base + ".rcq");
+    conn->ep = &nic_->createEndpoint(nullptr, conn->recv_cq.get());
+
+    sim::MemorySpace &mem = node_.memory();
+
+    // Request receive buffers: one per credit, registered as a unit.
+    // Any registration failure (NIC capacity after many client
+    // reconnections) refuses the connection rather than accepting a
+    // half-wired one.
+    conn->req_buf_base = mem.allocate(
+        static_cast<uint64_t>(config_.request_credits) *
+        dsa::kRequestWireBytes);
+    auto req_reg = nic_->registry().registerMemory(
+        conn->req_buf_base,
+        static_cast<uint64_t>(config_.request_credits) *
+            dsa::kRequestWireBytes,
+        true);
+    conn->reply_buf = mem.allocate(dsa::kResponseWireBytes);
+    auto reply_reg = nic_->registry().registerMemory(
+        conn->reply_buf, dsa::kResponseWireBytes, true);
+    conn->flag_scratch = mem.allocate(8);
+    auto flag_reg =
+        nic_->registry().registerMemory(conn->flag_scratch, 8, true);
+    conn->staging_base = mem.allocate(
+        static_cast<uint64_t>(config_.staging_slots) *
+        config_.staging_slot_bytes);
+    auto staging_reg = nic_->registry().registerMemory(
+        conn->staging_base,
+        static_cast<uint64_t>(config_.staging_slots) *
+            config_.staging_slot_bytes,
+        true);
+    if (!req_reg || !reply_reg || !flag_reg || !staging_reg) {
+        V3LOG(Warn, "v3") << config_.name
+                          << ": refusing connection, NIC "
+                             "registration capacity exhausted";
+        return nullptr;
+    }
+    conn->req_buf_handle = req_reg->handle;
+    conn->reply_handle = reply_reg->handle;
+    conn->flag_handle = flag_reg->handle;
+    conn->staging_handle = staging_reg->handle;
+
+    // Pre-post one receive per request credit.
+    for (uint32_t i = 0; i < config_.request_credits; ++i)
+        repostRecv(*conn, i);
+
+    Connection &ref = *conn;
+    connections_.push_back(std::move(conn));
+    sim::spawn(serviceLoop(ref));
+    return ref.ep;
+}
+
+void
+V3Server::repostRecv(Connection &conn, uint64_t cookie)
+{
+    vi::WorkDescriptor desc;
+    desc.cookie = cookie;
+    desc.local_addr =
+        conn.req_buf_base + cookie * dsa::kRequestWireBytes;
+    desc.len = dsa::kRequestWireBytes;
+    nic_->postRecv(*conn.ep, desc, conn.req_buf_handle);
+}
+
+sim::Task<>
+V3Server::serviceLoop(Connection &conn)
+{
+    // The paper: the server polls for incoming messages (a dedicated
+    // service loop); handlers are spawned so requests pipeline.
+    for (;;) {
+        vi::WorkCompletion completion =
+            co_await conn.recv_cq->next();
+        if (completion.status != vi::WorkStatus::Ok) {
+            // Connection torn down; stop servicing.
+            conn.alive = false;
+            co_return;
+        }
+        if (!completion.control)
+            continue; // not a DSA message
+        auto req = std::static_pointer_cast<dsa::RequestMsg>(
+            completion.control);
+        sim::spawn(handleRequest(conn, *req, completion.cookie));
+    }
+}
+
+void
+V3Server::pruneSeqs(Connection &conn, uint64_t ack_below)
+{
+    for (auto it = conn.seqs.begin(); it != conn.seqs.end();) {
+        if (it->first < ack_below)
+            it = conn.seqs.erase(it);
+        else
+            ++it;
+    }
+}
+
+sim::Task<>
+V3Server::handleRequest(Connection &conn, dsa::RequestMsg req,
+                        uint64_t recv_cookie)
+{
+    const sim::Tick arrival = sim_.now();
+    CpuLease lease = co_await node_.cpus().acquire();
+    co_await lease.run(config_.parse_cost, CpuCat::Other);
+
+    pruneSeqs(conn, req.ack_below);
+
+    if (req.op == dsa::DsaOp::Hello) {
+        co_await handleHello(conn, req, lease);
+        repostRecv(conn, recv_cookie);
+        node_.cpus().release();
+        co_return;
+    }
+
+    // Retransmission filter (exactly-once for writes, no duplicate
+    // work for reads).
+    const auto seq_it = conn.seqs.find(req.seq);
+    if (seq_it != conn.seqs.end()) {
+        retransmit_hits_.increment();
+        if (seq_it->second == Connection::SeqState::InProgress) {
+            // The original is still being served; it will complete.
+            repostRecv(conn, recv_cookie);
+            node_.cpus().release();
+            co_return;
+        }
+        const bool ok =
+            seq_it->second == Connection::SeqState::DoneOk;
+        co_await lease.run(config_.complete_cost, CpuCat::Other);
+        postCompletion(conn, req, ok);
+        repostRecv(conn, recv_cookie);
+        node_.cpus().release();
+        co_return;
+    }
+    conn.seqs[req.seq] = Connection::SeqState::InProgress;
+
+    bool ok = false;
+    if (req.op == dsa::DsaOp::Read) {
+        reads_.increment();
+        ok = co_await doRead(conn, req, lease);
+    } else if (req.op == dsa::DsaOp::Write) {
+        writes_.increment();
+        ok = co_await doWrite(conn, req, lease);
+    } else {
+        hints_.increment();
+        ok = co_await doHint(req, lease);
+    }
+
+    conn.seqs[req.seq] = ok ? Connection::SeqState::DoneOk
+                            : Connection::SeqState::DoneFail;
+    co_await lease.run(config_.complete_cost, CpuCat::Other);
+    postCompletion(conn, req, ok);
+    server_time_.add(static_cast<double>(sim_.now() - arrival));
+    repostRecv(conn, recv_cookie);
+    node_.cpus().release();
+}
+
+sim::Task<>
+V3Server::handleHello(Connection &conn, const dsa::RequestMsg &req,
+                      CpuLease lease)
+{
+    co_await lease.run(config_.complete_cost, CpuCat::Other);
+    auto ack = std::make_shared<dsa::ServerMsg>();
+    ack->kind = dsa::ServerMsg::Kind::HelloAck;
+    disk::Volume *volume = volumes_.volume(req.volume);
+    ack->hello.volume_capacity = volume ? volume->capacity() : 0;
+    ack->hello.request_credits = config_.request_credits;
+    ack->hello.staging_slots = config_.staging_slots;
+    ack->hello.staging_slot_bytes =
+        static_cast<uint32_t>(config_.staging_slot_bytes);
+    ack->hello.staging_base = conn.staging_base;
+
+    vi::WorkDescriptor desc;
+    desc.local_addr = conn.reply_buf;
+    desc.len = dsa::kResponseWireBytes;
+    desc.control = std::move(ack);
+    nic_->postSend(*conn.ep, desc, conn.reply_handle);
+}
+
+void
+V3Server::postCompletion(Connection &conn, const dsa::RequestMsg &req,
+                         bool ok)
+{
+    if (!conn.alive ||
+        conn.ep->state() != vi::EndpointState::Connected) {
+        return;
+    }
+    if (req.completion == dsa::CompletionMode::RdmaFlag) {
+        // Write the flag value into scratch, then RDMA it onto the
+        // request's flag address; the data was posted on the same
+        // connection first, so in-order delivery makes the flag the
+        // last thing the client observes.
+        node_.memory().writeU64(conn.flag_scratch,
+                                dsa::kFlagDone |
+                                    (ok ? dsa::kFlagOk : 0));
+        vi::WorkDescriptor desc;
+        desc.local_addr = conn.flag_scratch;
+        desc.len = 8;
+        desc.remote_addr = req.flag_addr;
+        nic_->postRdmaWrite(*conn.ep, desc, conn.flag_handle);
+    } else {
+        auto response = std::make_shared<dsa::ServerMsg>();
+        response->kind = dsa::ServerMsg::Kind::Response;
+        response->response.request_id = req.request_id;
+        response->response.ok = ok;
+        vi::WorkDescriptor desc;
+        desc.local_addr = conn.reply_buf;
+        desc.len = dsa::kResponseWireBytes;
+        desc.control = std::move(response);
+        nic_->postSend(*conn.ep, desc, conn.reply_handle);
+    }
+}
+
+sim::Task<bool>
+V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
+                 CpuLease &lease)
+{
+    disk::Volume *volume = volumes_.volume(req.volume);
+    if (!volume || req.len == 0 ||
+        req.offset + req.len > volume->capacity()) {
+        co_return false;
+    }
+
+    if (!cache_) {
+        // Caching off: one transient buffer, one volume read, one
+        // RDMA (the NIC fragments it on the wire).
+        const uint64_t a_off = alignDown(req.offset, kSector);
+        const uint64_t a_end = alignUp(req.offset + req.len, kSector);
+        sim::MemorySpace &mem = node_.memory();
+        const sim::Addr tbuf = mem.allocate(a_end - a_off);
+        auto reg =
+            nic_->registry().registerMemory(tbuf, a_end - a_off, true);
+        co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
+
+        node_.cpus().release();
+        const bool ok =
+            co_await volume->read(a_off, a_end - a_off, mem, tbuf);
+        lease = co_await node_.cpus().acquire();
+
+        bool sent = false;
+        if (ok && reg.has_value()) {
+            co_await lease.run(nic_->costs().doorbell, CpuCat::Other);
+            vi::WorkDescriptor desc;
+            desc.local_addr = tbuf + (req.offset - a_off);
+            desc.len = req.len;
+            desc.remote_addr = req.client_buffer;
+            sent = nic_->postRdmaWrite(*conn.ep, desc, reg->handle);
+        }
+        // NOTE: the transient stays registered until after the RDMA
+        // snapshot (taken synchronously at post), so it can be freed
+        // immediately in simulation terms.
+        if (reg.has_value())
+            nic_->registry().deregister(reg->handle);
+        mem.free(tbuf);
+        co_return sent;
+    }
+
+    // Cached path: per-block lookups with miss-run coalescing.
+    const uint64_t bs = config_.block_size;
+    const uint64_t first = req.offset / bs;
+    const uint64_t last = (req.offset + req.len - 1) / bs;
+
+    struct BlockRef
+    {
+        uint64_t block;
+        sim::Addr frame;     // data home (frame or transient)
+        bool pinned;         // needs unpin
+    };
+    std::vector<BlockRef> refs;
+    struct Transient
+    {
+        sim::Addr addr;
+        uint64_t len;
+        vi::MemHandle handle;
+    };
+    std::vector<Transient> transients;
+
+    sim::MemorySpace &mem = node_.memory();
+    uint64_t b = first;
+    while (b <= last) {
+        const CacheKey key{req.volume, b};
+        co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+
+        if (auto frame = cache_->lookupAndPin(key)) {
+            refs.push_back(BlockRef{b, *frame, true});
+            ++b;
+            continue;
+        }
+
+        auto loading = loading_.find(key);
+        if (loading != loading_.end()) {
+            // Another request is already fetching this block; wait
+            // without holding a CPU, then retry the lookup.
+            sim::CondEvent *event = loading->second.get();
+            node_.cpus().release();
+            co_await event->wait();
+            lease = co_await node_.cpus().acquire();
+            continue;
+        }
+
+        // We own the fetch of a run of consecutive cold blocks.
+        uint64_t run_end = b + 1;
+        loading_[key] = std::make_unique<sim::CondEvent>();
+        while (run_end <= last &&
+               !cache_->contains(CacheKey{req.volume, run_end}) &&
+               loading_.find(CacheKey{req.volume, run_end}) ==
+                   loading_.end()) {
+            loading_[CacheKey{req.volume, run_end}] =
+                std::make_unique<sim::CondEvent>();
+            ++run_end;
+        }
+
+        const uint64_t run_bytes = (run_end - b) * bs;
+        const sim::Addr tbuf = mem.allocate(run_bytes);
+        co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
+
+        node_.cpus().release();
+        const bool ok =
+            co_await volume->read(b * bs, run_bytes, mem, tbuf);
+        lease = co_await node_.cpus().acquire();
+
+        bool tbuf_needed = false;
+        for (uint64_t bb = b; bb < run_end; ++bb) {
+            const CacheKey bkey{req.volume, bb};
+            co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+            std::optional<sim::Addr> frame =
+                ok ? cache_->insertAndPin(bkey) : std::nullopt;
+            if (frame) {
+                sim::MemorySpace::copy(mem, tbuf + (bb - b) * bs, mem,
+                                       *frame, bs);
+                co_await lease.run(
+                    static_cast<sim::Tick>(bs / 1024) *
+                        config_.memcpy_per_kb,
+                    CpuCat::Other);
+                refs.push_back(BlockRef{bb, *frame, true});
+            } else if (ok) {
+                // All frames pinned: serve from the transient.
+                refs.push_back(
+                    BlockRef{bb, tbuf + (bb - b) * bs, false});
+                tbuf_needed = true;
+            }
+            auto event = loading_.find(bkey);
+            if (event != loading_.end()) {
+                event->second->notifyAll();
+                loading_.erase(event);
+            }
+        }
+
+        if (!ok) {
+            // Unpin and bail out.
+            for (const BlockRef &ref : refs) {
+                if (ref.pinned)
+                    cache_->unpin(CacheKey{req.volume, ref.block});
+            }
+            mem.free(tbuf);
+            for (const Transient &t : transients) {
+                nic_->registry().deregister(t.handle);
+                mem.free(t.addr);
+            }
+            co_return false;
+        }
+
+        if (tbuf_needed) {
+            auto reg =
+                nic_->registry().registerMemory(tbuf, run_bytes, true);
+            assert(reg.has_value());
+            transients.push_back(Transient{tbuf, run_bytes,
+                                           reg->handle});
+        } else {
+            mem.free(tbuf);
+        }
+        b = run_end;
+    }
+
+    // RDMA each block's overlap with the requested range, in order.
+    for (const BlockRef &ref : refs) {
+        const uint64_t block_start = ref.block * bs;
+        const uint64_t piece_start =
+            std::max(block_start, req.offset);
+        const uint64_t piece_end =
+            std::min(block_start + bs, req.offset + req.len);
+        if (piece_end <= piece_start)
+            continue;
+        co_await lease.run(nic_->costs().doorbell, CpuCat::Other);
+        vi::WorkDescriptor desc;
+        desc.local_addr = ref.frame + (piece_start - block_start);
+        desc.len = piece_end - piece_start;
+        desc.remote_addr =
+            req.client_buffer + (piece_start - req.offset);
+        vi::MemHandle handle = cache_handle_;
+        if (!ref.pinned) {
+            // Find the covering transient registration.
+            for (const Transient &t : transients) {
+                if (desc.local_addr >= t.addr &&
+                    desc.local_addr + desc.len <= t.addr + t.len) {
+                    handle = t.handle;
+                    break;
+                }
+            }
+        }
+        nic_->postRdmaWrite(*conn.ep, desc, handle);
+    }
+
+    for (const BlockRef &ref : refs) {
+        if (ref.pinned)
+            cache_->unpin(CacheKey{req.volume, ref.block});
+    }
+    for (const Transient &t : transients) {
+        nic_->registry().deregister(t.handle);
+        mem.free(t.addr);
+    }
+    co_return true;
+}
+
+sim::Task<bool>
+V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
+                  CpuLease &lease)
+{
+    disk::Volume *volume = volumes_.volume(req.volume);
+    if (!volume || req.len == 0 ||
+        req.offset + req.len > volume->capacity() ||
+        req.offset % kSector != 0 || req.len % kSector != 0 ||
+        req.staging_slot >= config_.staging_slots ||
+        req.len > config_.staging_slot_bytes) {
+        co_return false;
+    }
+
+    sim::MemorySpace &mem = node_.memory();
+    const sim::Addr staging =
+        conn.staging_base +
+        static_cast<uint64_t>(req.staging_slot) *
+            config_.staging_slot_bytes;
+
+    // Update cache blocks so subsequent reads see the new data.
+    if (cache_) {
+        const uint64_t bs = config_.block_size;
+        for (uint64_t b = req.offset / bs;
+             b <= (req.offset + req.len - 1) / bs; ++b) {
+            const CacheKey key{req.volume, b};
+            const uint64_t block_start = b * bs;
+            const uint64_t piece_start =
+                std::max(block_start, req.offset);
+            const uint64_t piece_end =
+                std::min(block_start + bs, req.offset + req.len);
+            const bool full_block =
+                piece_start == block_start && piece_end - piece_start == bs;
+
+            co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+            std::optional<sim::Addr> frame;
+            if (full_block) {
+                frame = cache_->insertAndPin(key);
+            } else if (cache_->contains(key)) {
+                frame = cache_->lookupAndPin(key);
+            }
+            if (frame) {
+                sim::MemorySpace::copy(
+                    mem, staging + (piece_start - req.offset), mem,
+                    *frame + (piece_start - block_start),
+                    piece_end - piece_start);
+                co_await lease.run(
+                    static_cast<sim::Tick>(
+                        (piece_end - piece_start) / 1024) *
+                        config_.memcpy_per_kb,
+                    CpuCat::Other);
+                cache_->unpin(key);
+            }
+        }
+    }
+
+    // Commit to disk before completing (durability, section 5.2).
+    co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
+    node_.cpus().release();
+    const bool ok =
+        co_await volume->write(req.offset, req.len, mem, staging);
+    lease = co_await node_.cpus().acquire();
+    co_return ok;
+}
+
+sim::Task<bool>
+V3Server::doHint(const dsa::RequestMsg &req, CpuLease &lease)
+{
+    disk::Volume *volume = volumes_.volume(req.volume);
+    if (!volume || req.len == 0 ||
+        req.offset + req.len > volume->capacity()) {
+        co_return false;
+    }
+    if (!cache_)
+        co_return true; // nothing to manage; still acknowledged
+
+    const uint64_t bs = config_.block_size;
+    const uint64_t first = req.offset / bs;
+    const uint64_t last = (req.offset + req.len - 1) / bs;
+
+    switch (req.hint) {
+      case dsa::HintKind::WillNeed:
+        // Acknowledge immediately; fetch in the background.
+        sim::spawn(prefetchRange(req.volume, first, last));
+        break;
+      case dsa::HintKind::DontNeed:
+        for (uint64_t b = first; b <= last; ++b) {
+            co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+            cache_->invalidate(CacheKey{req.volume, b});
+        }
+        break;
+      case dsa::HintKind::Sequential:
+        // Advisory only; accepted.
+        break;
+    }
+    co_return true;
+}
+
+sim::Task<>
+V3Server::prefetchRange(uint32_t volume_id, uint64_t first,
+                        uint64_t last)
+{
+    disk::Volume *volume = volumes_.volume(volume_id);
+    if (!volume || !cache_)
+        co_return;
+    const uint64_t bs = config_.block_size;
+    sim::MemorySpace &mem = node_.memory();
+
+    CpuLease lease = co_await node_.cpus().acquire();
+    uint64_t b = first;
+    while (b <= last) {
+        const CacheKey key{volume_id, b};
+        co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+        if (cache_->contains(key) ||
+            loading_.find(key) != loading_.end()) {
+            ++b;
+            continue;
+        }
+        // Fetch a run of consecutive cold blocks, as doRead does.
+        uint64_t run_end = b + 1;
+        loading_[key] = std::make_unique<sim::CondEvent>();
+        while (run_end <= last &&
+               !cache_->contains(CacheKey{volume_id, run_end}) &&
+               loading_.find(CacheKey{volume_id, run_end}) ==
+                   loading_.end()) {
+            loading_[CacheKey{volume_id, run_end}] =
+                std::make_unique<sim::CondEvent>();
+            ++run_end;
+        }
+        const uint64_t run_bytes = (run_end - b) * bs;
+        const sim::Addr tbuf = mem.allocate(run_bytes);
+        co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
+        node_.cpus().release();
+        const bool ok =
+            co_await volume->read(b * bs, run_bytes, mem, tbuf);
+        lease = co_await node_.cpus().acquire();
+
+        for (uint64_t bb = b; bb < run_end; ++bb) {
+            const CacheKey bkey{volume_id, bb};
+            if (ok) {
+                co_await lease.run(config_.cache_op_cost,
+                                   CpuCat::Other);
+                if (auto frame = cache_->insertAndPin(bkey)) {
+                    sim::MemorySpace::copy(mem, tbuf + (bb - b) * bs,
+                                           mem, *frame, bs);
+                    cache_->unpin(bkey);
+                    prefetched_.increment();
+                }
+            }
+            auto event = loading_.find(bkey);
+            if (event != loading_.end()) {
+                event->second->notifyAll();
+                loading_.erase(event);
+            }
+        }
+        mem.free(tbuf);
+        b = run_end;
+    }
+    node_.cpus().release();
+}
+
+void
+V3Server::resetStats()
+{
+    reads_.reset();
+    writes_.reset();
+    retransmit_hits_.reset();
+    server_time_.reset();
+    if (cache_)
+        cache_->resetStats();
+    disks_.resetStats();
+    node_.cpus().resetStats();
+}
+
+} // namespace v3sim::storage

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The V3 storage server: request manager pipeline over the cache,
+ * volume and disk managers (Figure 1 of the paper).
+ *
+ * One V3Server is one storage node: a 2-CPU host (Table 2) with a VI
+ * NIC, a large block cache, and locally attached disks organized
+ * into volumes. Clients connect VI endpoints to it and speak the DSA
+ * protocol (dsa/protocol.hh).
+ *
+ * Request manager structure, per section 2.1: the server "runs at
+ * user level and communicates with clients with user-level VI
+ * primitives" and "employs a lightweight pipeline structure ... that
+ * allows large numbers of I/O requests to be serviced concurrently".
+ * Here: a per-connection service loop polls the receive completion
+ * queue (the paper: "we always use polling for incoming messages on
+ * the server") and spawns one handler coroutine per request; handlers
+ * interleave freely across cache lookups, disk I/O and RDMA.
+ *
+ * Read path:  RDMA the data from cache frames (or a transient buffer
+ *             when caching is off) straight into the client's
+ *             registered buffer, then complete.
+ * Write path: the payload is already in a server staging slot (the
+ *             client RDMA-wrote it before sending the request); the
+ *             server updates resident cache blocks and commits to
+ *             disk *before* completing (section 5.2).
+ * Completion: a Response send (consumes a client receive descriptor;
+ *             interrupt-capable) or an RDMA flag write the client
+ *             polls (cDSA).
+ *
+ * The server also implements the exactly-once filter for DSA's
+ * request-level retransmission: completed sequence numbers are
+ * remembered per connection until the client's piggybacked ack
+ * watermark passes them.
+ */
+
+#ifndef V3SIM_STORAGE_V3_SERVER_HH
+#define V3SIM_STORAGE_V3_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsa/protocol.hh"
+#include "net/fabric.hh"
+#include "osmodel/node.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+#include "storage/block_cache.hh"
+#include "storage/disk_manager.hh"
+#include "storage/mq_cache.hh"
+#include "storage/volume_manager.hh"
+#include "vi/vi_nic.hh"
+
+namespace v3sim::storage
+{
+
+/** Cache replacement policy selector. */
+enum class CachePolicy : uint8_t
+{
+    Lru,
+    Mq,
+};
+
+/** Static configuration of one V3 storage node. */
+struct V3ServerConfig
+{
+    std::string name = "v3";
+    int cpus = 2;
+    osmodel::HostCosts host_costs = osmodel::HostCosts::storageNode();
+
+    /** Cache block size (the paper's experiments fix this at 8 KB). */
+    uint64_t block_size = 8192;
+
+    /** Cache capacity in bytes; 0 disables caching entirely (the
+     *  Figure 7/8 configuration: "the V3 server cache size is set to
+     *  zero and all V3 I/O requests are serviced from disks"). */
+    uint64_t cache_bytes = 256ull * 1024 * 1024;
+
+    CachePolicy cache_policy = CachePolicy::Mq;
+    MqConfig mq;
+
+    /** Outstanding-request credits granted per client connection
+     *  (matches posted receive descriptors — DSA flow control). */
+    uint32_t request_credits = 64;
+
+    /** Write-staging slots granted per client connection. */
+    uint32_t staging_slots = 32;
+
+    /** Size of one staging slot (must cover the largest write). */
+    uint64_t staging_slot_bytes = 128 * 1024;
+
+    /** Phantom memory for large workload runs. */
+    bool phantom_memory = false;
+
+    /** @name Request-manager CPU costs (charged on the server CPUs)
+     * @{ */
+    sim::Tick parse_cost = sim::usecs(5.0);
+    sim::Tick cache_op_cost = sim::usecs(1.5);
+    sim::Tick disk_sched_cost = sim::usecs(3.0);
+    sim::Tick complete_cost = sim::usecs(4.0);
+    /** Per-KB cost of staging<->frame copies. */
+    sim::Tick memcpy_per_kb = sim::usecs(0.12);
+    /** @} */
+};
+
+/** One V3 storage node. */
+class V3Server
+{
+  public:
+    V3Server(sim::Simulation &sim, net::Fabric &fabric,
+             V3ServerConfig config);
+
+    V3Server(const V3Server &) = delete;
+    V3Server &operator=(const V3Server &) = delete;
+
+    osmodel::Node &node() { return node_; }
+    vi::ViNic &nic() { return *nic_; }
+    DiskManager &diskManager() { return disks_; }
+    VolumeManager &volumeManager() { return volumes_; }
+    BlockCache *cache() { return cache_.get(); }
+    const V3ServerConfig &config() const { return config_; }
+
+    /**
+     * Begins accepting client connections. Call after volumes are
+     * assembled.
+     */
+    void start();
+
+    /** @name Statistics @{ */
+    uint64_t readCount() const { return reads_.value(); }
+    uint64_t writeCount() const { return writes_.value(); }
+    uint64_t hintCount() const { return hints_.value(); }
+    uint64_t prefetchedBlocks() const { return prefetched_.value(); }
+    uint64_t retransmitHits() const { return retransmit_hits_.value(); }
+
+    /** Server-resident time per request: arrival at the request
+     *  manager to completion post (the Figure 4 "V3 Storage Server"
+     *  component). */
+    const sim::Sampler &serverTime() const { return server_time_; }
+
+    double
+    cacheHitRatio() const
+    {
+        return cache_ ? cache_->hitRatio() : 0.0;
+    }
+
+    void resetStats();
+    /** @} */
+
+  private:
+    /** Per-client connection state (the request manager instance). */
+    struct Connection
+    {
+        uint32_t id = 0;
+        vi::ViEndpoint *ep = nullptr;
+        /** Send CQ is deliberately absent: the server never needs
+         *  local send completions, and an undrained CQ would grow
+         *  without bound over long runs. */
+        std::unique_ptr<vi::CompletionQueue> recv_cq;
+
+        /** Request receive buffers, one per credit. */
+        sim::Addr req_buf_base = sim::kNullAddr;
+        vi::MemHandle req_buf_handle;
+
+        /** Reply/flag scratch buffers. */
+        sim::Addr reply_buf = sim::kNullAddr;
+        vi::MemHandle reply_handle;
+        sim::Addr flag_scratch = sim::kNullAddr;
+        vi::MemHandle flag_handle;
+
+        /** Write-staging area granted to this client. */
+        sim::Addr staging_base = sim::kNullAddr;
+        vi::MemHandle staging_handle;
+
+        /** Retransmission filter: seq -> completed ok/in-progress. */
+        enum class SeqState : uint8_t { InProgress, DoneOk, DoneFail };
+        std::unordered_map<uint64_t, SeqState> seqs;
+        bool alive = true;
+    };
+
+    /** Accept hook: allocates a Connection and its endpoint. */
+    vi::ViEndpoint *accept(net::PortId remote_port,
+                           vi::EndpointId remote_ep);
+
+    /** Drains one connection's receive CQ forever. */
+    sim::Task<> serviceLoop(Connection &conn);
+
+    /** Dispatches one request message. */
+    sim::Task<> handleRequest(Connection &conn, dsa::RequestMsg req,
+                              uint64_t recv_cookie);
+
+    sim::Task<> handleHello(Connection &conn,
+                            const dsa::RequestMsg &req,
+                            osmodel::CpuLease lease);
+
+    /** Read data path; returns success. */
+    sim::Task<bool> doRead(Connection &conn, const dsa::RequestMsg &req,
+                           osmodel::CpuLease &lease);
+
+    /** Write data path; returns success. */
+    sim::Task<bool> doWrite(Connection &conn,
+                            const dsa::RequestMsg &req,
+                            osmodel::CpuLease &lease);
+
+    /** Hint handling (cDSA advanced feature): WillNeed prefetches
+     *  asynchronously, DontNeed drops blocks, Sequential is
+     *  advisory. */
+    sim::Task<bool> doHint(const dsa::RequestMsg &req,
+                           osmodel::CpuLease &lease);
+
+    /** Background prefetch of [first_block, last_block]. */
+    sim::Task<> prefetchRange(uint32_t volume_id, uint64_t first,
+                              uint64_t last);
+
+    /** Sends the completion (message or RDMA flag). */
+    void postCompletion(Connection &conn, const dsa::RequestMsg &req,
+                        bool ok);
+
+    /** Re-posts the request receive buffer (returns the credit). */
+    void repostRecv(Connection &conn, uint64_t cookie);
+
+    /** Prunes the retransmission filter below the client's ack. */
+    static void pruneSeqs(Connection &conn, uint64_t ack_below);
+
+    sim::Simulation &sim_;
+    V3ServerConfig config_;
+    osmodel::Node node_;
+    std::unique_ptr<vi::ViNic> nic_;
+    DiskManager disks_;
+    VolumeManager volumes_;
+    std::unique_ptr<BlockCache> cache_;
+    vi::MemHandle cache_handle_;
+
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    /** Blocks currently being read from disk (miss coalescing). */
+    std::unordered_map<CacheKey, std::unique_ptr<sim::CondEvent>,
+                       CacheKeyHash>
+        loading_;
+
+    sim::Counter reads_;
+    sim::Counter writes_;
+    sim::Counter hints_;
+    sim::Counter prefetched_;
+    sim::Counter retransmit_hits_;
+    sim::Sampler server_time_;
+};
+
+} // namespace v3sim::storage
+
+#endif // V3SIM_STORAGE_V3_SERVER_HH

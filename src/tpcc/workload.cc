@@ -1,0 +1,115 @@
+#include "workload.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace v3sim::tpcc
+{
+
+namespace
+{
+
+/** Standard TPC-C mix with relative CPU / I/O demands. Delivery and
+ *  Stock-Level are the heavy transactions; Payment is light. */
+const std::array<TxnProfile, kTxnTypeCount> kProfiles = {{
+    {TxnType::NewOrder, 45.0, 1.0, 1.0},
+    {TxnType::Payment, 43.0, 0.55, 0.5},
+    {TxnType::OrderStatus, 4.0, 0.5, 0.6},
+    {TxnType::Delivery, 4.0, 1.9, 2.2},
+    {TxnType::StockLevel, 4.0, 2.1, 2.6},
+}};
+
+} // namespace
+
+const char *
+txnTypeName(TxnType type)
+{
+    switch (type) {
+      case TxnType::NewOrder: return "New-Order";
+      case TxnType::Payment: return "Payment";
+      case TxnType::OrderStatus: return "Order-Status";
+      case TxnType::Delivery: return "Delivery";
+      case TxnType::StockLevel: return "Stock-Level";
+    }
+    return "?";
+}
+
+const TxnProfile &
+Workload::profile(TxnType type)
+{
+    return kProfiles[static_cast<size_t>(type)];
+}
+
+Workload::Workload(TpccConfig config, uint64_t device_capacity,
+                   sim::Rng rng)
+    : config_(config), rng_(rng)
+{
+    working_set_ =
+        std::min(config_.workingSetBytes(), device_capacity);
+    working_set_ =
+        working_set_ / config_.page_size * config_.page_size;
+    assert(working_set_ >= config_.page_size);
+    hot_bytes_ = static_cast<uint64_t>(
+        static_cast<double>(working_set_) *
+        config_.hot_space_fraction);
+    hot_bytes_ = std::max(hot_bytes_ / config_.page_size,
+                          uint64_t{1}) *
+                 config_.page_size;
+}
+
+TxnType
+Workload::sampleType()
+{
+    double total = 0;
+    for (const TxnProfile &profile : kProfiles)
+        total += profile.mix_weight;
+    double pick = rng_.uniformReal(0, total);
+    for (const TxnProfile &profile : kProfiles) {
+        if (pick < profile.mix_weight)
+            return profile.type;
+        pick -= profile.mix_weight;
+    }
+    return TxnType::NewOrder;
+}
+
+uint32_t
+Workload::sampleIoCount(TxnType type)
+{
+    const double mean = config_.ios_per_txn * profile(type).io_mult;
+    // Normal around the mean with modest spread, at least one I/O.
+    const double sampled = rng_.normal(mean, mean * 0.25);
+    return static_cast<uint32_t>(std::max(1.0, std::round(sampled)));
+}
+
+sim::Tick
+Workload::cpuDemand(TxnType type) const
+{
+    return static_cast<sim::Tick>(
+        static_cast<double>(config_.cpu_per_txn) *
+        profile(type).cpu_mult);
+}
+
+bool
+Workload::sampleIsRead()
+{
+    return rng_.bernoulli(config_.read_fraction);
+}
+
+uint64_t
+Workload::sampleOffset()
+{
+    const uint64_t pages_hot = hot_bytes_ / config_.page_size;
+    const uint64_t pages_total = working_set_ / config_.page_size;
+    uint64_t page;
+    if (rng_.bernoulli(config_.hot_access_fraction) && pages_hot > 0) {
+        page = rng_.uniformInt(0, pages_hot - 1);
+    } else if (pages_total > pages_hot) {
+        page = rng_.uniformInt(pages_hot, pages_total - 1);
+    } else {
+        page = rng_.uniformInt(0, pages_total - 1);
+    }
+    return page * config_.page_size;
+}
+
+} // namespace v3sim::tpcc

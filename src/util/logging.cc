@@ -1,0 +1,52 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace v3sim::util
+{
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+namespace
+{
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Logger::emit(LogLevel level, const std::string &component,
+             const std::string &message)
+{
+    if (!enabled(level))
+        return;
+    if (timeSource_) {
+        const int64_t ns = timeSource_();
+        std::fprintf(stderr, "[%12.3f us] %-5s %-10s %s\n",
+                     static_cast<double>(ns) / 1e3, levelName(level),
+                     component.c_str(), message.c_str());
+    } else {
+        std::fprintf(stderr, "[         ---] %-5s %-10s %s\n",
+                     levelName(level), component.c_str(),
+                     message.c_str());
+    }
+}
+
+} // namespace v3sim::util

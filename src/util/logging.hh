@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight leveled logging for the simulator.
+ *
+ * Log lines are prefixed with the current simulated time when a time
+ * source has been installed (the simulation engine installs itself on
+ * construction). Logging is intentionally minimal: a global level, a
+ * printf-like call site, and zero cost when the level is disabled.
+ */
+
+#ifndef V3SIM_UTIL_LOGGING_HH
+#define V3SIM_UTIL_LOGGING_HH
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace v3sim::util
+{
+
+/** Severity levels, ordered from most to least verbose. */
+enum class LogLevel : int
+{
+    Trace = 0,
+    Debug = 1,
+    Info = 2,
+    Warn = 3,
+    Error = 4,
+    Off = 5,
+};
+
+/**
+ * Process-wide logging configuration.
+ *
+ * The simulation engine registers a time source so log lines carry
+ * simulated timestamps; outside a simulation the prefix is omitted.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger. */
+    static Logger &instance();
+
+    /** Sets the minimum level that will be emitted. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Returns the current minimum level. */
+    LogLevel level() const { return level_; }
+
+    /** Returns true if @p level messages would be emitted. */
+    bool enabled(LogLevel level) const { return level >= level_; }
+
+    /**
+     * Installs a simulated-time source used to prefix log lines.
+     * Pass nullptr to clear. Returns the previous source.
+     */
+    std::function<int64_t()>
+    setTimeSource(std::function<int64_t()> source)
+    {
+        auto prev = std::move(timeSource_);
+        timeSource_ = std::move(source);
+        return prev;
+    }
+
+    /** Emits one formatted line (no trailing newline required). */
+    void emit(LogLevel level, const std::string &component,
+              const std::string &message);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Warn;
+    std::function<int64_t()> timeSource_;
+};
+
+/** Stream-style log statement builder used by the V3LOG macro. */
+class LogStatement
+{
+  public:
+    LogStatement(LogLevel level, std::string component)
+        : level_(level), component_(std::move(component))
+    {}
+
+    ~LogStatement()
+    {
+        Logger::instance().emit(level_, component_, stream_.str());
+    }
+
+    template <typename T>
+    LogStatement &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream stream_;
+};
+
+} // namespace v3sim::util
+
+/**
+ * Log macro: V3LOG(Info, "dsa") << "credits exhausted, queueing";
+ * The stream expression is only evaluated when the level is enabled.
+ */
+#define V3LOG(level, component)                                           \
+    if (!::v3sim::util::Logger::instance().enabled(                       \
+            ::v3sim::util::LogLevel::level)) {                            \
+    } else                                                                \
+        ::v3sim::util::LogStatement(::v3sim::util::LogLevel::level,       \
+                                    (component))
+
+#endif // V3SIM_UTIL_LOGGING_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses.
+ *
+ * Every figure/table bench prints its series as an aligned text table
+ * so the output can be diffed against EXPERIMENTS.md. Columns are
+ * right-aligned except the first, which is left-aligned (row label).
+ */
+
+#ifndef V3SIM_UTIL_TABLE_HH
+#define V3SIM_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace v3sim::util
+{
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends one row; missing cells render empty. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats a double with @p decimals digits. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Convenience: formats an integer. */
+    static std::string num(int64_t value);
+
+    /** Renders the table (headers, separator, rows). */
+    std::string render() const;
+
+    /** Renders and writes to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace v3sim::util
+
+#endif // V3SIM_UTIL_TABLE_HH

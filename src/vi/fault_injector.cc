@@ -1,0 +1,82 @@
+#include "fault_injector.hh"
+
+namespace v3sim::vi
+{
+
+FaultInjector::FaultInjector(sim::Simulation &sim, net::Fabric &fabric)
+    : sim_(sim), fabric_(fabric), rng_(sim.forkRng())
+{
+    fabric_.setDropFilter([this](const net::Packet &packet) {
+        return shouldDrop(packet);
+    });
+}
+
+FaultInjector::~FaultInjector()
+{
+    fabric_.setDropFilter(nullptr);
+}
+
+void
+FaultInjector::dropNext(int count, std::optional<net::PortId> towards)
+{
+    drop_next_ = count;
+    drop_towards_ = towards;
+}
+
+void
+FaultInjector::setLossRate(double p)
+{
+    loss_rate_ = p;
+}
+
+void
+FaultInjector::blackout(sim::Tick from, sim::Tick until)
+{
+    blackout_from_ = from;
+    blackout_until_ = until;
+}
+
+void
+FaultInjector::scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep)
+{
+    sim_.queue().scheduleAt(when, [this, &nic, ep] {
+        if (ViEndpoint *endpoint = nic.endpoint(ep)) {
+            breaks_.increment();
+            nic.breakConnection(*endpoint);
+        }
+    });
+}
+
+void
+FaultInjector::clear()
+{
+    drop_next_ = 0;
+    drop_towards_.reset();
+    loss_rate_ = 0.0;
+    blackout_from_ = 0;
+    blackout_until_ = 0;
+}
+
+bool
+FaultInjector::shouldDrop(const net::Packet &packet)
+{
+    bool drop = false;
+
+    if (drop_next_ > 0 &&
+        (!drop_towards_ || packet.dst == *drop_towards_)) {
+        --drop_next_;
+        drop = true;
+    }
+    if (!drop && loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_))
+        drop = true;
+    if (!drop && sim_.now() >= blackout_from_ &&
+        sim_.now() < blackout_until_) {
+        drop = true;
+    }
+
+    if (drop)
+        dropped_.increment();
+    return drop;
+}
+
+} // namespace v3sim::vi

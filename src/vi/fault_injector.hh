@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Structured fault injection for the VI fabric.
+ *
+ * DSA exists because VI gives no reliability guarantees (section
+ * 2.2: "most existing VI implementations do not provide strong
+ * reliability guarantees"), so exercising loss and failure paths is
+ * first-class in this reproduction. The injector composes the common
+ * patterns over the fabric's drop filter and the NIC's
+ * connection-break hook:
+ *
+ *  - dropNext(n): lose the next n packets (optionally one direction);
+ *  - lossRate(p): Bernoulli loss until cleared;
+ *  - blackout(from, until): total loss inside a time window;
+ *  - scheduleBreak(t, nic, ep): silent connection kill at time t.
+ *
+ * All active rules apply simultaneously (a packet is dropped if any
+ * rule says so); statistics record what was injected.
+ */
+
+#ifndef V3SIM_VI_FAULT_INJECTOR_HH
+#define V3SIM_VI_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "net/fabric.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "vi/vi_nic.hh"
+
+namespace v3sim::vi
+{
+
+/** Composable fault patterns over one fabric. */
+class FaultInjector
+{
+  public:
+    /**
+     * Installs itself as the fabric's drop filter. Only one
+     * injector per fabric; it replaces any existing filter.
+     */
+    FaultInjector(sim::Simulation &sim, net::Fabric &fabric);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    ~FaultInjector();
+
+    /**
+     * Drops the next @p count packets. When @p towards is set, only
+     * packets destined for that port count (and are dropped).
+     */
+    void dropNext(int count,
+                  std::optional<net::PortId> towards = std::nullopt);
+
+    /** Random loss with probability @p p until cleared (0 clears). */
+    void setLossRate(double p);
+
+    /** Drops everything in [from, until) of simulated time. */
+    void blackout(sim::Tick from, sim::Tick until);
+
+    /** Schedules a silent connection break at absolute time @p when. */
+    void scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep);
+
+    /** Removes every active rule (scheduled breaks still fire). */
+    void clear();
+
+    /** Packets dropped by this injector. */
+    uint64_t droppedCount() const { return dropped_.value(); }
+
+    /** Connection breaks executed. */
+    uint64_t breakCount() const { return breaks_.value(); }
+
+  private:
+    bool shouldDrop(const net::Packet &packet);
+
+    sim::Simulation &sim_;
+    net::Fabric &fabric_;
+    sim::Rng rng_;
+
+    int drop_next_ = 0;
+    std::optional<net::PortId> drop_towards_;
+    double loss_rate_ = 0.0;
+    sim::Tick blackout_from_ = 0;
+    sim::Tick blackout_until_ = 0;
+
+    sim::Counter dropped_;
+    sim::Counter breaks_;
+};
+
+} // namespace v3sim::vi
+
+#endif // V3SIM_VI_FAULT_INJECTOR_HH

@@ -1,0 +1,169 @@
+#include "memory_registry.hh"
+
+#include <cassert>
+
+namespace v3sim::vi
+{
+
+MemoryRegistry::MemoryRegistry(const ViCosts &costs,
+                               uint32_t region_entries)
+    : costs_(costs), region_entries_(region_entries)
+{
+    assert(region_entries_ >= 1);
+    table_.resize(costs_.max_table_entries);
+}
+
+bool
+MemoryRegistry::findFreeSlot(uint32_t *slot)
+{
+    if (live_entries_ >= table_.size())
+        return false;
+    const uint32_t n = static_cast<uint32_t>(table_.size());
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t candidate = (cursor_ + i) % n;
+        if (!table_[candidate].in_use) {
+            *slot = candidate;
+            cursor_ = (candidate + 1) % n;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<RegResult>
+MemoryRegistry::registerMemory(sim::Addr addr, uint64_t len,
+                               bool pre_pinned)
+{
+    if (len == 0 ||
+        registered_bytes_ + len > costs_.max_registered_bytes) {
+        failures_.increment();
+        return std::nullopt;
+    }
+    uint32_t slot;
+    if (!findFreeSlot(&slot)) {
+        failures_.increment();
+        return std::nullopt;
+    }
+
+    Entry &entry = table_[slot];
+    entry.in_use = true;
+    entry.generation = next_generation_++;
+    entry.addr = addr;
+    entry.len = len;
+    entry.self_pinned = !pre_pinned;
+
+    ++live_entries_;
+    registered_bytes_ += len;
+    peak_bytes_ = std::max(peak_bytes_, registered_bytes_);
+    registrations_.increment();
+
+    sim::Tick cost = costs_.table_update;
+    if (!pre_pinned)
+        cost += static_cast<sim::Tick>(sim::pageSpan(addr, len)) *
+                costs_.page_pin;
+
+    by_addr_[addr] = slot;
+
+    RegResult result;
+    result.handle = MemHandle{slot, entry.generation};
+    result.cost = cost;
+    result.region = slot / region_entries_;
+    return result;
+}
+
+std::optional<sim::Tick>
+MemoryRegistry::deregister(MemHandle handle)
+{
+    if (handle.slot >= table_.size())
+        return std::nullopt;
+    Entry &entry = table_[handle.slot];
+    if (!entry.in_use || entry.generation != handle.generation)
+        return std::nullopt;
+
+    sim::Tick cost = costs_.table_remove;
+    if (entry.self_pinned)
+        cost += static_cast<sim::Tick>(
+                    sim::pageSpan(entry.addr, entry.len)) *
+                costs_.page_pin;
+
+    auto it = by_addr_.find(entry.addr);
+    if (it != by_addr_.end() && it->second == handle.slot)
+        by_addr_.erase(it);
+    registered_bytes_ -= entry.len;
+    --live_entries_;
+    entry = Entry{};
+    deregistrations_.increment();
+    return cost;
+}
+
+RegionDeregResult
+MemoryRegistry::deregisterRegion(uint32_t region)
+{
+    RegionDeregResult result;
+    const uint64_t first =
+        static_cast<uint64_t>(region) * region_entries_;
+    if (first >= table_.size())
+        return result;
+    const uint64_t last =
+        std::min<uint64_t>(first + region_entries_, table_.size());
+
+    // One table operation covers the whole region; unpinning (when
+    // the entries pinned their own pages) still costs per page.
+    result.cost = costs_.table_remove;
+    for (uint64_t slot = first; slot < last; ++slot) {
+        Entry &entry = table_[slot];
+        if (!entry.in_use)
+            continue;
+        if (entry.self_pinned) {
+            result.cost +=
+                static_cast<sim::Tick>(
+                    sim::pageSpan(entry.addr, entry.len)) *
+                costs_.page_pin;
+        }
+        auto it = by_addr_.find(entry.addr);
+        if (it != by_addr_.end() && it->second == slot)
+            by_addr_.erase(it);
+        registered_bytes_ -= entry.len;
+        --live_entries_;
+        entry = Entry{};
+        ++result.entries_freed;
+    }
+    region_deregs_.increment();
+    return result;
+}
+
+bool
+MemoryRegistry::covers(MemHandle handle, sim::Addr addr,
+                       uint64_t len) const
+{
+    if (handle.slot >= table_.size())
+        return false;
+    const Entry &entry = table_[handle.slot];
+    if (!entry.in_use || entry.generation != handle.generation)
+        return false;
+    return addr >= entry.addr && addr - entry.addr <= entry.len &&
+           len <= entry.len - (addr - entry.addr);
+}
+
+bool
+MemoryRegistry::anyCovers(sim::Addr addr, uint64_t len) const
+{
+    if (by_addr_.empty())
+        return false;
+    auto it = by_addr_.upper_bound(addr);
+    if (it == by_addr_.begin())
+        return false;
+    --it;
+    const Entry &entry = table_[it->second];
+    return entry.in_use && addr >= entry.addr &&
+           addr - entry.addr <= entry.len &&
+           len <= entry.len - (addr - entry.addr);
+}
+
+uint32_t
+MemoryRegistry::regionOf(MemHandle handle) const
+{
+    return handle.slot / region_entries_;
+}
+
+} // namespace v3sim::vi

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core VI architecture types: descriptors, completions, handles.
+ *
+ * Mirrors the Virtual Interface Architecture specification's model:
+ * applications post work descriptors (send / receive / RDMA-write) on
+ * per-VI work queues and consume completions from completion queues.
+ * RDMA-write carries an optional 32-bit immediate; plain RDMA-write
+ * is invisible to the remote CPU — the property cDSA exploits for
+ * completion flags.
+ */
+
+#ifndef V3SIM_VI_VI_TYPES_HH
+#define V3SIM_VI_VI_TYPES_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/memory.hh"
+
+namespace v3sim::vi
+{
+
+/** Endpoint (VI instance) identifier, unique per NIC. */
+using EndpointId = uint32_t;
+
+constexpr EndpointId kInvalidEndpoint = UINT32_MAX;
+
+/** Registration handle returned by MemoryRegistry. */
+struct MemHandle
+{
+    uint32_t slot = UINT32_MAX; ///< translation-table index
+    uint64_t generation = 0;    ///< guards against stale handles
+
+    bool valid() const { return slot != UINT32_MAX; }
+};
+
+/** Kinds of work a VI consumes. */
+enum class WorkType : uint8_t
+{
+    Send,
+    Recv,
+    RdmaWrite,
+    /** RDMA read: pulls remote memory into a local buffer without
+     *  remote CPU involvement. Optional in the VI spec (the paper's
+     *  cLan lacked it); provided here for the Infiniband-direction
+     *  systems the paper's sections 7-8 point to. */
+    RdmaRead,
+};
+
+/** Completion status. */
+enum class WorkStatus : uint8_t
+{
+    Ok,
+    /** Connection went away (fault injection / disconnect). */
+    ConnectionError,
+    /** Incoming send found no posted receive descriptor. */
+    RecvOverrun,
+    /** RDMA target was not registered at the remote NIC. */
+    ProtectionError,
+    /** Descriptor flushed because the endpoint was torn down. */
+    Flushed,
+};
+
+/** A work request posted to a send or receive queue. */
+struct WorkDescriptor
+{
+    WorkType type = WorkType::Send;
+    uint64_t cookie = 0;       ///< opaque user tag, echoed in completion
+    sim::Addr local_addr = sim::kNullAddr;
+    uint64_t len = 0;
+    /** RDMA only: destination address in the remote memory space. */
+    sim::Addr remote_addr = sim::kNullAddr;
+    /** RDMA only: deliver a remote completion with this immediate.
+     *  When false, the write is invisible to the remote CPU. */
+    bool has_immediate = false;
+    uint32_t immediate = 0;
+    /**
+     * Simulation-level sidecar carried with the message and surfaced
+     * in the remote completion. Protocol layers attach their typed
+     * request/response structs here so control traffic stays parseable
+     * when host memory runs in phantom mode; `len` still models the
+     * wire size the real serialized message would have.
+     */
+    std::shared_ptr<void> control;
+};
+
+/** A completed work request, consumed from a completion queue. */
+struct WorkCompletion
+{
+    WorkType type = WorkType::Send;
+    WorkStatus status = WorkStatus::Ok;
+    EndpointId endpoint = kInvalidEndpoint;
+    uint64_t cookie = 0;   ///< poster's cookie (local completions)
+    uint64_t len = 0;      ///< bytes transferred
+    uint32_t immediate = 0;
+    bool has_immediate = false;
+    /** Sender-attached sidecar (see WorkDescriptor::control). */
+    std::shared_ptr<void> control;
+};
+
+/** Connection state of an endpoint. */
+enum class EndpointState : uint8_t
+{
+    Idle,
+    Connecting,
+    Connected,
+    Error,
+    Closed,
+};
+
+} // namespace v3sim::vi
+
+#endif // V3SIM_VI_VI_TYPES_HH

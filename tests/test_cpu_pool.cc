@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the CPU pool: admission, priority, per-category
+ * accounting, and utilization math.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osmodel/cpu_pool.hh"
+#include "sim/simulation.hh"
+
+namespace v3sim::osmodel
+{
+namespace
+{
+
+using sim::Task;
+using sim::Tick;
+using sim::usecs;
+
+TEST(CpuPool, RunChargesCategory)
+{
+    sim::Simulation sim;
+    CpuPool pool(sim, 2, "cpu");
+    sim::spawn([](CpuPool &p) -> Task<> {
+        CpuLease lease = co_await p.acquire();
+        co_await lease.run(usecs(10), CpuCat::Sql);
+        co_await lease.run(usecs(5), CpuCat::Dsa);
+        p.release();
+    }(pool));
+    sim.run();
+    EXPECT_EQ(pool.busyTime(CpuCat::Sql), usecs(10));
+    EXPECT_EQ(pool.busyTime(CpuCat::Dsa), usecs(5));
+    EXPECT_EQ(pool.totalBusyTime(), usecs(15));
+}
+
+TEST(CpuPool, AdmissionBoundedByCpuCount)
+{
+    sim::Simulation sim;
+    CpuPool pool(sim, 2, "cpu");
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i) {
+        sim::spawn([](CpuPool &p, sim::Simulation &s,
+                      std::vector<Tick> &out) -> Task<> {
+            CpuLease lease = co_await p.acquire();
+            co_await lease.run(usecs(10), CpuCat::Sql);
+            p.release();
+            out.push_back(s.now());
+        }(pool, sim, done));
+    }
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], usecs(10));
+    EXPECT_EQ(done[1], usecs(10));
+    EXPECT_EQ(done[2], usecs(20));
+    EXPECT_EQ(done[3], usecs(20));
+}
+
+TEST(CpuPool, InterruptPriorityJumpsQueue)
+{
+    sim::Simulation sim;
+    CpuPool pool(sim, 1, "cpu");
+    std::vector<std::string> order;
+
+    auto normal = [](CpuPool &p, std::vector<std::string> &out,
+                     std::string name) -> Task<> {
+        CpuLease lease = co_await p.acquire();
+        co_await lease.run(usecs(10), CpuCat::Sql);
+        p.release();
+        out.push_back(name);
+    };
+    auto intr = [](CpuPool &p, std::vector<std::string> &out) -> Task<> {
+        CpuLease lease =
+            co_await p.acquire(CpuPool::kInterruptPriority);
+        co_await lease.run(usecs(1), CpuCat::Kernel);
+        p.release();
+        out.push_back("intr");
+    };
+
+    sim::spawn(normal(pool, order, "a")); // takes the CPU
+    sim::spawn(normal(pool, order, "b")); // queues
+    sim::spawn(intr(pool, order));        // queues at high priority
+    sim.run();
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"a", "intr", "b"}));
+}
+
+TEST(CpuPool, UtilizationPerCategory)
+{
+    sim::Simulation sim;
+    CpuPool pool(sim, 4, "cpu");
+    sim::spawn([](CpuPool &p) -> Task<> {
+        CpuLease lease = co_await p.acquire();
+        co_await lease.run(usecs(40), CpuCat::Sql);
+        p.release();
+    }(pool));
+    sim.run();
+    sim.runUntil(usecs(100));
+    // 40us of one CPU out of 4 CPUs x 100us window = 10%.
+    EXPECT_NEAR(pool.utilization(), 0.10, 1e-9);
+    EXPECT_NEAR(pool.utilization(CpuCat::Sql), 0.10, 1e-9);
+    EXPECT_NEAR(pool.utilization(CpuCat::Kernel), 0.0, 1e-9);
+}
+
+TEST(CpuPool, ResetStatsStartsNewWindow)
+{
+    sim::Simulation sim;
+    CpuPool pool(sim, 1, "cpu");
+    sim::spawn([](CpuPool &p) -> Task<> {
+        CpuLease lease = co_await p.acquire();
+        co_await lease.run(usecs(10), CpuCat::Sql);
+        p.release();
+    }(pool));
+    sim.run();
+    pool.resetStats();
+    sim.runUntil(usecs(20));
+    EXPECT_EQ(pool.totalBusyTime(), 0);
+    EXPECT_NEAR(pool.utilization(), 0.0, 1e-9);
+}
+
+TEST(CpuPool, ZeroDurationRunIsFree)
+{
+    sim::Simulation sim;
+    CpuPool pool(sim, 1, "cpu");
+    bool done = false;
+    sim::spawn([](CpuPool &p, bool &flag) -> Task<> {
+        CpuLease lease = co_await p.acquire();
+        co_await lease.run(0, CpuCat::Sql);
+        p.release();
+        flag = true;
+    }(pool, done));
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(CpuPool, CategoryNames)
+{
+    EXPECT_STREQ(cpuCatName(CpuCat::Sql), "SQL");
+    EXPECT_STREQ(cpuCatName(CpuCat::Kernel), "OS Kernel");
+    EXPECT_STREQ(cpuCatName(CpuCat::Lock), "Lock");
+    EXPECT_STREQ(cpuCatName(CpuCat::Dsa), "DSA");
+    EXPECT_STREQ(cpuCatName(CpuCat::Vi), "VI");
+    EXPECT_STREQ(cpuCatName(CpuCat::Other), "Other");
+}
+
+} // namespace
+} // namespace v3sim::osmodel

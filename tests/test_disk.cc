@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the disk model: service times, scheduling, data
+ * store integrity, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk.hh"
+#include "sim/simulation.hh"
+
+namespace v3sim::disk
+{
+namespace
+{
+
+using sim::msecs;
+using sim::Task;
+using sim::Tick;
+
+TEST(DiskSpec, RotationAndSeekSanity)
+{
+    const DiskSpec scsi = DiskSpec::scsi10k();
+    EXPECT_EQ(scsi.rotationTime(), msecs(6)); // 10K RPM
+    EXPECT_EQ(scsi.avgRotationalLatency(), msecs(3));
+    EXPECT_EQ(scsi.seekTime(0), 0);
+    EXPECT_EQ(scsi.seekTime(1.0), scsi.full_stroke_seek);
+    EXPECT_GT(scsi.seekTime(0.5), scsi.track_to_track_seek);
+    // Average seek for 10K-class drives is ~5 ms.
+    EXPECT_GE(scsi.avgSeek(), msecs(4));
+    EXPECT_LE(scsi.avgSeek(), msecs(6));
+
+    const DiskSpec fc = DiskSpec::fc15k();
+    EXPECT_EQ(fc.rotationTime(), msecs(4)); // 15K RPM
+    EXPECT_LT(fc.avgSeek(), scsi.avgSeek());
+}
+
+TEST(Disk, RandomReadLatencyInRealisticBand)
+{
+    sim::Simulation sim(7);
+    Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d0");
+    sim::Rng rng(99);
+
+    sim::spawn([](Disk &d, sim::Rng &r) -> Task<> {
+        for (int i = 0; i < 200; ++i) {
+            const uint64_t offset =
+                r.uniformInt(0, (d.spec().capacity_bytes - 8192) /
+                                    8192) *
+                8192;
+            co_await d.read(offset, 8192);
+        }
+    }(disk, rng));
+    sim.run();
+
+    // Random 8K reads on a 10K RPM disk: ~5-15 ms average.
+    const double mean_ms = disk.serviceStats().mean() / 1e6;
+    EXPECT_GE(mean_ms, 4.0);
+    EXPECT_LE(mean_ms, 15.0);
+    EXPECT_EQ(disk.completedCount(), 200u);
+}
+
+TEST(Disk, SequentialRunsFasterThanRandom)
+{
+    sim::Simulation sim(11);
+    Disk seq_disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "seq");
+    Disk rnd_disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "rnd");
+    sim::Rng rng(5);
+
+    sim::spawn([](Disk &d) -> Task<> {
+        for (int i = 0; i < 100; ++i)
+            co_await d.write(static_cast<uint64_t>(i) * 8192, 8192);
+    }(seq_disk));
+    sim::spawn([](Disk &d, sim::Rng &r) -> Task<> {
+        for (int i = 0; i < 100; ++i) {
+            const uint64_t offset =
+                r.uniformInt(0, (d.spec().capacity_bytes - 8192) /
+                                    8192) *
+                8192;
+            co_await d.write(offset, 8192);
+        }
+    }(rnd_disk, rng));
+    sim.run();
+
+    // Sequential log-style writes avoid seek+rotation entirely after
+    // the first command.
+    EXPECT_LT(seq_disk.serviceStats().mean() * 5,
+              rnd_disk.serviceStats().mean());
+}
+
+TEST(Disk, ElevatorBeatsFifoOnBacklog)
+{
+    auto run_policy = [](SchedPolicy policy) {
+        sim::Simulation sim(3);
+        Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d",
+                  policy);
+        sim::Rng rng(42);
+        int outstanding = 64;
+        for (int i = 0; i < 64; ++i) {
+            const uint64_t offset =
+                rng.uniformInt(0, (disk.spec().capacity_bytes - 8192) /
+                                      8192) *
+                8192;
+            disk.submit(offset, 8192, false, [&] { --outstanding; });
+        }
+        sim.run();
+        EXPECT_EQ(outstanding, 0);
+        return disk.serviceStats().mean();
+    };
+    EXPECT_LT(run_policy(SchedPolicy::Elevator),
+              run_policy(SchedPolicy::Fifo));
+}
+
+TEST(Disk, QueueingAddsLatency)
+{
+    sim::Simulation sim(13);
+    Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d",
+              SchedPolicy::Fifo);
+    int done = 0;
+    for (int i = 0; i < 8; ++i)
+        disk.submit(static_cast<uint64_t>(i) * 1024 * 1024 * 128, 8192,
+                    false, [&] { ++done; });
+    sim.run();
+    EXPECT_EQ(done, 8);
+    // Total latency (wait+service) exceeds pure service on average.
+    EXPECT_GT(disk.latencyStats().mean(),
+              disk.serviceStats().mean() * 2);
+}
+
+TEST(DiskStore, DataRoundTripsThroughDisk)
+{
+    sim::Simulation sim;
+    Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d");
+    sim::MemorySpace mem;
+    const sim::Addr src = mem.allocate(8192);
+    const sim::Addr dst = mem.allocate(8192);
+    std::vector<uint8_t> pattern(8192);
+    for (size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<uint8_t>(i * 13);
+    mem.write(src, pattern.data(), pattern.size());
+
+    ASSERT_TRUE(disk.store().writeFrom(4096, 8192, mem, src));
+    ASSERT_TRUE(disk.store().readInto(4096, 8192, mem, dst));
+    std::vector<uint8_t> out(8192);
+    mem.read(dst, out.data(), out.size());
+    EXPECT_EQ(out, pattern);
+}
+
+TEST(DiskStore, UnwrittenSectorsReadZero)
+{
+    sim::Simulation sim;
+    Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d");
+    sim::MemorySpace mem;
+    const sim::Addr dst = mem.allocate(1024);
+    mem.fill(dst, 0xEE, 1024);
+    ASSERT_TRUE(disk.store().readInto(0, 1024, mem, dst));
+    std::vector<uint8_t> out(1024);
+    mem.read(dst, out.data(), out.size());
+    for (const uint8_t v : out)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(DiskStore, RejectsUnalignedAccess)
+{
+    sim::Simulation sim;
+    Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d");
+    sim::MemorySpace mem;
+    const sim::Addr buf = mem.allocate(1024);
+    EXPECT_FALSE(disk.store().readInto(100, 512, mem, buf));
+    EXPECT_FALSE(disk.store().writeFrom(0, 100, mem, buf));
+}
+
+TEST(Disk, UtilizationAndReset)
+{
+    sim::Simulation sim;
+    Disk disk(sim, DiskSpec::scsi10k(), sim.forkRng(), "d");
+    sim::spawn([](Disk &d) -> Task<> {
+        co_await d.read(1024 * 1024, 8192);
+    }(disk));
+    sim.run();
+    EXPECT_GT(disk.utilization(), 0.9); // busy the whole run
+    disk.resetStats();
+    EXPECT_EQ(disk.completedCount(), 0u);
+}
+
+} // namespace
+} // namespace v3sim::disk

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism,
+ * cancellation, and time-bounded execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace v3sim::sim
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(usecs(30), [&] { order.push_back(3); });
+    q.schedule(usecs(10), [&] { order.push_back(1); });
+    q.schedule(usecs(20), [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), usecs(30));
+}
+
+TEST(EventQueue, SameTimeEventsFireFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(usecs(5), [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NegativeDelayClampsToNow)
+{
+    EventQueue q;
+    q.schedule(usecs(10), [] {});
+    q.run();
+    Tick fired_at = -1;
+    q.schedule(-usecs(5), [&] { fired_at = q.now(); });
+    q.run();
+    EXPECT_EQ(fired_at, usecs(10));
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTime)
+{
+    EventQueue q;
+    Tick fired_at = -1;
+    q.scheduleAt(msecs(2), [&] { fired_at = q.now(); });
+    q.run();
+    EXPECT_EQ(fired_at, msecs(2));
+}
+
+TEST(EventQueue, ScheduleAtPastClampsToNow)
+{
+    EventQueue q;
+    q.schedule(usecs(100), [] {});
+    q.run();
+    Tick fired_at = -1;
+    q.scheduleAt(usecs(50), [&] { fired_at = q.now(); });
+    q.run();
+    EXPECT_EQ(fired_at, usecs(100));
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreProcessed)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.schedule(usecs(1), chain);
+    };
+    q.schedule(usecs(1), chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), usecs(5));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(usecs(10), [&] { ++fired; });
+    q.schedule(usecs(20), [&] { ++fired; });
+    q.schedule(usecs(21), [&] { ++fired; });
+    q.runUntil(usecs(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), usecs(20));
+    q.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenEmpty)
+{
+    EventQueue q;
+    q.runUntil(secs(1));
+    EXPECT_EQ(q.now(), secs(1));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    auto handle = q.schedule(usecs(10), [&] { fired = true; });
+    EXPECT_TRUE(handle.pending());
+    handle.cancel();
+    EXPECT_FALSE(handle.pending());
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    bool fired = false;
+    auto handle = q.schedule(usecs(10), [&] { fired = true; });
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_FALSE(handle.pending());
+    handle.cancel(); // must not crash or alter anything
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventQueue::Handle handle;
+    EXPECT_FALSE(handle.pending());
+    handle.cancel();
+}
+
+TEST(EventQueue, RunWithMaxEventsStopsEarly)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(usecs(i), [&] { ++fired; });
+    q.run(4);
+    EXPECT_EQ(fired, 4);
+    q.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, FiredCountSkipsCancelled)
+{
+    EventQueue q;
+    auto h1 = q.schedule(usecs(1), [] {});
+    q.schedule(usecs(2), [] {});
+    h1.cancel();
+    q.run();
+    EXPECT_EQ(q.firedCount(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Tick last = -1;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = usecs((i * 7919) % 1000);
+        q.scheduleAt(when, [&, when] {
+            if (when < last)
+                monotone = false;
+            last = when;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace v3sim::sim

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Randomized invariant tests ("fuzz" style, deterministic seeds):
+ * long random operation sequences against the block caches and the
+ * NIC registry, checking structural invariants at every step rather
+ * than specific outcomes. Parameterized across policies and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/random.hh"
+#include "storage/block_cache.hh"
+#include "storage/mq_cache.hh"
+#include "storage/v3_server.hh"
+#include "vi/memory_registry.hh"
+
+namespace v3sim
+{
+namespace
+{
+
+/** (policy, seed) matrix for the cache fuzz. */
+class CacheFuzz
+    : public ::testing::TestWithParam<
+          std::tuple<storage::CachePolicy, uint64_t>>
+{
+  protected:
+    static std::unique_ptr<storage::BlockCache>
+    makeCache(sim::MemorySpace &mem, uint64_t capacity)
+    {
+        if (std::get<0>(GetParam()) == storage::CachePolicy::Mq)
+            return std::make_unique<storage::MqCache>(mem, 4096,
+                                                      capacity);
+        return std::make_unique<storage::LruCache>(mem, 4096,
+                                                   capacity);
+    }
+};
+
+TEST_P(CacheFuzz, InvariantsHoldUnderRandomOps)
+{
+    constexpr uint64_t kCapacity = 64;
+    sim::MemorySpace mem;
+    auto cache = makeCache(mem, kCapacity);
+    sim::Rng rng(std::get<1>(GetParam()));
+
+    // Model state: pin counts we believe each key has.
+    std::map<uint64_t, int> pins;
+
+    for (int step = 0; step < 50000; ++step) {
+        const uint64_t block = rng.uniformInt(0, 255);
+        const storage::CacheKey key{0, block};
+        const int action = static_cast<int>(rng.uniformInt(0, 3));
+
+        switch (action) {
+          case 0: { // lookup
+            if (auto frame = cache->lookupAndPin(key)) {
+                ++pins[block];
+                EXPECT_TRUE(cache->contains(key));
+                EXPECT_GE(*frame, cache->frameBase());
+                EXPECT_LT(*frame,
+                          cache->frameBase() + cache->frameBytes());
+            }
+            break;
+          }
+          case 1: { // insert
+            // Keep some frames unpinned so inserts can evict.
+            uint64_t pinned_frames = 0;
+            for (const auto &[k, count] : pins)
+                pinned_frames += count > 0 ? 1 : 0;
+            if (pinned_frames >= kCapacity - 2)
+                break;
+            if (cache->insertAndPin(key)) {
+                ++pins[block];
+                EXPECT_TRUE(cache->contains(key));
+            }
+            break;
+          }
+          case 2: { // unpin
+            auto it = pins.find(block);
+            if (it != pins.end() && it->second > 0) {
+                cache->unpin(key);
+                --it->second;
+            }
+            break;
+          }
+          case 3: { // invalidate
+            cache->invalidate(key);
+            if (pins[block] > 0) {
+                // Pinned: must still be resident.
+                EXPECT_TRUE(cache->contains(key));
+            } else {
+                EXPECT_FALSE(cache->contains(key));
+            }
+            break;
+          }
+        }
+
+        // Global invariants every step.
+        ASSERT_LE(cache->residentBlocks(), kCapacity);
+        // Every pinned block must be resident (never evicted).
+        if (step % 512 == 0) {
+            for (const auto &[k, count] : pins) {
+                if (count > 0) {
+                    ASSERT_TRUE(cache->contains(
+                        storage::CacheKey{0, k}))
+                        << "pinned block " << k << " evicted";
+                }
+            }
+        }
+    }
+
+    // Drain pins; afterwards everything must be evictable.
+    for (auto &[block, count] : pins) {
+        while (count-- > 0)
+            cache->unpin(storage::CacheKey{0, block});
+    }
+    for (uint64_t block = 0; block < 256; ++block)
+        cache->invalidate(storage::CacheKey{0, block});
+    EXPECT_EQ(cache->residentBlocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySeed, CacheFuzz,
+    ::testing::Combine(::testing::Values(storage::CachePolicy::Lru,
+                                         storage::CachePolicy::Mq),
+                       ::testing::Values(1u, 7u, 1234u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<storage::CachePolicy, uint64_t>> &info) {
+        return std::string(std::get<0>(info.param) ==
+                                   storage::CachePolicy::Mq
+                               ? "MQ"
+                               : "LRU") +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+/** Registry fuzz: random register/deregister/region ops. */
+class RegistryFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RegistryFuzz, AccountingStaysConsistent)
+{
+    vi::ViCosts costs;
+    costs.max_registered_bytes = 4ull * 1024 * 1024;
+    costs.max_table_entries = 512;
+    vi::MemoryRegistry registry(costs, 16);
+    sim::Rng rng(GetParam());
+
+    struct Live
+    {
+        vi::MemHandle handle;
+        sim::Addr addr;
+        uint64_t len;
+    };
+    std::vector<Live> live;
+    uint64_t live_bytes = 0;
+    sim::Addr next_addr = 1 << 20;
+
+    for (int step = 0; step < 20000; ++step) {
+        const int action = static_cast<int>(rng.uniformInt(0, 2));
+        if (action == 0) {
+            const uint64_t len = 4096u
+                                 << rng.uniformInt(0, 3); // 4-32K
+            auto reg = registry.registerMemory(next_addr, len, true);
+            if (reg) {
+                // Handle must cover its own range, and only that.
+                ASSERT_TRUE(
+                    registry.covers(reg->handle, next_addr, len));
+                ASSERT_FALSE(registry.covers(reg->handle,
+                                             next_addr + len, 1));
+                live.push_back(Live{reg->handle, next_addr, len});
+                live_bytes += len;
+            } else {
+                // Failure only under genuine pressure.
+                ASSERT_TRUE(live.size() == 512 ||
+                            live_bytes + len >
+                                costs.max_registered_bytes);
+            }
+            next_addr += 64 * 1024;
+        } else if (action == 1 && !live.empty()) {
+            const size_t pick = rng.uniformInt(0, live.size() - 1);
+            ASSERT_TRUE(
+                registry.deregister(live[pick].handle).has_value());
+            // Double dereg must fail.
+            ASSERT_FALSE(
+                registry.deregister(live[pick].handle).has_value());
+            live_bytes -= live[pick].len;
+            live[pick] = live.back();
+            live.pop_back();
+        } else if (action == 2 && !live.empty()) {
+            // Deregister a whole region; drop every matching entry
+            // from the model.
+            const size_t pick = rng.uniformInt(0, live.size() - 1);
+            const uint32_t region =
+                registry.regionOf(live[pick].handle);
+            registry.deregisterRegion(region);
+            for (size_t i = 0; i < live.size();) {
+                if (registry.regionOf(live[i].handle) == region) {
+                    live_bytes -= live[i].len;
+                    live[i] = live.back();
+                    live.pop_back();
+                } else {
+                    ++i;
+                }
+            }
+        }
+
+        ASSERT_EQ(registry.registeredBytes(), live_bytes);
+        ASSERT_EQ(registry.liveEntries(), live.size());
+    }
+
+    // Full teardown: the table must end empty.
+    for (const Live &entry : live)
+        registry.deregister(entry.handle);
+    EXPECT_EQ(registry.liveEntries(), 0u);
+    EXPECT_EQ(registry.registeredBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryFuzz,
+                         ::testing::Values(3u, 99u, 2026u));
+
+} // namespace
+} // namespace v3sim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the cDSA caching/prefetch hints (the section 2.2
+ * "advanced features"): WillNeed prefetching, DontNeed eviction,
+ * Sequential acknowledgement, and flow-control accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsa/dsa_client.hh"
+#include "net/fabric.hh"
+#include "osmodel/node.hh"
+#include "sim/simulation.hh"
+#include "storage/v3_server.hh"
+
+namespace v3sim::dsa
+{
+namespace
+{
+
+using sim::Addr;
+using sim::Task;
+
+class HintTest : public ::testing::Test
+{
+  protected:
+    HintTest()
+        : sim_(31),
+          fabric_(sim_.queue()),
+          host_(sim_, osmodel::NodeConfig{.name = "db", .cpus = 4})
+    {
+        storage::V3ServerConfig config;
+        config.cache_bytes = 2ull * 1024 * 1024;
+        server_ = std::make_unique<storage::V3Server>(sim_, fabric_,
+                                                      config);
+        auto disks = server_->diskManager().addDisks(
+            disk::DiskSpec::scsi10k(), "d", 2);
+        volume_ = server_->volumeManager().addStripedVolume(
+            disks, 64 * 1024);
+        server_->start();
+        nic_ = std::make_unique<vi::ViNic>(sim_, fabric_,
+                                           host_.memory(), "nic");
+        client_ = std::make_unique<DsaClient>(
+            DsaImpl::Cdsa, host_, *nic_, server_->nic().port(),
+            volume_);
+        sim::spawn([](DsaClient &c) -> Task<> {
+            co_await c.connect();
+        }(*client_));
+        sim_.run();
+    }
+
+    bool
+    doHint(HintKind kind, uint64_t offset, uint64_t len)
+    {
+        bool ok = false;
+        sim::spawn([](DsaClient &c, HintKind k, uint64_t off,
+                      uint64_t n, bool &out) -> Task<> {
+            out = co_await c.hint(k, off, n);
+        }(*client_, kind, offset, len, ok));
+        sim_.run();
+        return ok;
+    }
+
+    sim::Simulation sim_;
+    net::Fabric fabric_;
+    osmodel::Node host_;
+    std::unique_ptr<storage::V3Server> server_;
+    uint32_t volume_ = 0;
+    std::unique_ptr<vi::ViNic> nic_;
+    std::unique_ptr<DsaClient> client_;
+};
+
+TEST_F(HintTest, WillNeedPrefetchesBlocks)
+{
+    ASSERT_TRUE(doHint(HintKind::WillNeed, 0, 64 * 1024));
+    // The acknowledgement returns before the disk reads finish;
+    // draining the simulation completes the background prefetch.
+    sim_.run();
+    EXPECT_EQ(server_->prefetchedBlocks(), 8u);
+    EXPECT_EQ(server_->cache()->residentBlocks(), 8u);
+
+    // A read of a prefetched block is now a cache hit.
+    const Addr buf = host_.memory().allocate(8192);
+    bool ok = false;
+    sim::spawn([](DsaClient &c, Addr b, bool &out) -> Task<> {
+        out = co_await c.read(8192, 8192, b);
+    }(*client_, buf, ok));
+    sim_.run();
+    EXPECT_TRUE(ok);
+    EXPECT_GE(server_->cache()->hits(), 1u);
+    EXPECT_EQ(server_->cache()->misses(), 0u);
+}
+
+TEST_F(HintTest, DontNeedEvictsBlocks)
+{
+    const Addr buf = host_.memory().allocate(8192);
+    bool ok = false;
+    sim::spawn([](DsaClient &c, Addr b, bool &out) -> Task<> {
+        out = co_await c.read(0, 8192, b);
+    }(*client_, buf, ok));
+    sim_.run();
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(server_->cache()->residentBlocks(), 1u);
+
+    ASSERT_TRUE(doHint(HintKind::DontNeed, 0, 8192));
+    EXPECT_EQ(server_->cache()->residentBlocks(), 0u);
+}
+
+TEST_F(HintTest, SequentialIsAcknowledged)
+{
+    EXPECT_TRUE(doHint(HintKind::Sequential, 0, 1 << 20));
+    EXPECT_EQ(server_->hintCount(), 1u);
+}
+
+TEST_F(HintTest, OutOfRangeHintFails)
+{
+    EXPECT_FALSE(doHint(HintKind::WillNeed,
+                        client_->capacity() - 4096, 8192));
+}
+
+TEST_F(HintTest, HintsDoNotLeakCredits)
+{
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(doHint(HintKind::Sequential, 0, 8192));
+    }
+    // Flow control fully recovered: a normal I/O still works.
+    const Addr buf = host_.memory().allocate(8192);
+    bool ok = false;
+    sim::spawn([](DsaClient &c, Addr b, bool &out) -> Task<> {
+        out = co_await c.read(0, 8192, b);
+    }(*client_, buf, ok));
+    sim_.run();
+    EXPECT_TRUE(ok);
+}
+
+TEST_F(HintTest, PrefetchCoalescesWithDemandReads)
+{
+    // Hint a range, and while the prefetch is in flight read one of
+    // its blocks: the demand read must wait for the same fetch (no
+    // duplicate disk I/O) and return intact.
+    const Addr buf = host_.memory().allocate(8192);
+    bool hint_ok = false, read_ok = false;
+    sim::spawn([](DsaClient &c, Addr b, bool &ho, bool &ro) -> Task<> {
+        ho = co_await c.hint(HintKind::WillNeed, 0, 128 * 1024);
+        ro = co_await c.read(65536, 8192, b);
+    }(*client_, buf, hint_ok, read_ok));
+    sim_.run();
+    EXPECT_TRUE(hint_ok);
+    EXPECT_TRUE(read_ok);
+    EXPECT_EQ(server_->cache()->residentBlocks(), 16u);
+}
+
+} // namespace
+} // namespace v3sim::dsa

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the NIC translation table: registration costs,
+ * capacity limits, batched region deregistration, and handle safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "vi/memory_registry.hh"
+
+namespace v3sim::vi
+{
+namespace
+{
+
+using sim::usecs;
+
+ViCosts
+smallTable()
+{
+    ViCosts costs;
+    costs.max_table_entries = 16;
+    costs.max_registered_bytes = 64 * 1024;
+    return costs;
+}
+
+TEST(MemoryRegistry, RegisterEightKCostsAboutFiveUs)
+{
+    // Paper section 3.1: registering an 8K buffer costs ~5-10 us.
+    ViCosts costs;
+    MemoryRegistry reg(costs);
+    auto result = reg.registerMemory(0x10000, 8192, /*pre_pinned=*/false);
+    ASSERT_TRUE(result.has_value());
+    // 2 pages pinned + 1 table update.
+    EXPECT_EQ(result->cost, 2 * costs.page_pin + costs.table_update);
+    EXPECT_GE(result->cost, usecs(4));
+    EXPECT_LE(result->cost, usecs(10));
+}
+
+TEST(MemoryRegistry, PrePinnedSkipsPinCost)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs);
+    auto result = reg.registerMemory(0x10000, 8192, /*pre_pinned=*/true);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->cost, costs.table_update);
+}
+
+TEST(MemoryRegistry, ConsecutiveRegistrationsUseConsecutiveSlots)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs);
+    auto r0 = reg.registerMemory(0x1000, 4096, true);
+    auto r1 = reg.registerMemory(0x3000, 4096, true);
+    auto r2 = reg.registerMemory(0x5000, 4096, true);
+    ASSERT_TRUE(r0 && r1 && r2);
+    EXPECT_EQ(r1->handle.slot, r0->handle.slot + 1);
+    EXPECT_EQ(r2->handle.slot, r1->handle.slot + 1);
+}
+
+TEST(MemoryRegistry, ByteCapacityEnforced)
+{
+    MemoryRegistry reg(smallTable());
+    auto r0 = reg.registerMemory(0x10000, 48 * 1024, true);
+    ASSERT_TRUE(r0);
+    auto r1 = reg.registerMemory(0x40000, 32 * 1024, true);
+    EXPECT_FALSE(r1.has_value());
+    EXPECT_EQ(reg.failureCount(), 1u);
+    // After deregistering, it fits.
+    ASSERT_TRUE(reg.deregister(r0->handle).has_value());
+    EXPECT_TRUE(reg.registerMemory(0x40000, 32 * 1024, true));
+}
+
+TEST(MemoryRegistry, EntryCapacityEnforced)
+{
+    MemoryRegistry reg(smallTable());
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(reg.registerMemory(0x1000 + i * 0x1000, 64, true));
+    EXPECT_FALSE(reg.registerMemory(0x90000, 64, true));
+    EXPECT_EQ(reg.liveEntries(), 16u);
+}
+
+TEST(MemoryRegistry, DeregisterStaleHandleFails)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs);
+    auto r = reg.registerMemory(0x1000, 4096, true);
+    ASSERT_TRUE(r);
+    ASSERT_TRUE(reg.deregister(r->handle).has_value());
+    EXPECT_FALSE(reg.deregister(r->handle).has_value()); // stale
+}
+
+TEST(MemoryRegistry, CoversValidatesRange)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs);
+    auto r = reg.registerMemory(0x1000, 8192, true);
+    ASSERT_TRUE(r);
+    EXPECT_TRUE(reg.covers(r->handle, 0x1000, 8192));
+    EXPECT_TRUE(reg.covers(r->handle, 0x1100, 100));
+    EXPECT_FALSE(reg.covers(r->handle, 0x0F00, 100));
+    EXPECT_FALSE(reg.covers(r->handle, 0x1000, 8193));
+}
+
+TEST(MemoryRegistry, AnyCoversFindsRegisteredRanges)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs);
+    ASSERT_TRUE(reg.registerMemory(0x1000, 4096, true));
+    auto r2 = reg.registerMemory(0x8000, 4096, true);
+    ASSERT_TRUE(r2);
+    EXPECT_TRUE(reg.anyCovers(0x1000, 4096));
+    EXPECT_TRUE(reg.anyCovers(0x8FFF, 1));
+    EXPECT_FALSE(reg.anyCovers(0x5000, 1));
+    EXPECT_FALSE(reg.anyCovers(0x8000, 4097));
+    ASSERT_TRUE(reg.deregister(r2->handle));
+    EXPECT_FALSE(reg.anyCovers(0x8000, 1));
+}
+
+TEST(MemoryRegistry, RegionDeregFreesWholeRegionAtFixedTableCost)
+{
+    // Region size 4 for the test; pre-pinned buffers so the batched
+    // cost is exactly one table operation regardless of entry count.
+    ViCosts costs;
+    MemoryRegistry reg(costs, /*region_entries=*/4);
+    std::vector<RegResult> results;
+    for (int i = 0; i < 4; ++i) {
+        auto r = reg.registerMemory(0x1000 + i * 0x2000, 8192, true);
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->region, 0u);
+        results.push_back(*r);
+    }
+    const auto dereg = reg.deregisterRegion(0);
+    EXPECT_EQ(dereg.entries_freed, 4u);
+    EXPECT_EQ(dereg.cost, costs.table_remove);
+    EXPECT_EQ(reg.liveEntries(), 0u);
+    EXPECT_EQ(reg.registeredBytes(), 0u);
+    // All handles are now stale.
+    for (const auto &r : results)
+        EXPECT_FALSE(reg.covers(r.handle, 0x1000, 1));
+}
+
+TEST(MemoryRegistry, RegionDeregPaysUnpinForSelfPinnedEntries)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs, 4);
+    ASSERT_TRUE(reg.registerMemory(0x1000, 8192, /*pre_pinned=*/false));
+    ASSERT_TRUE(reg.registerMemory(0x4000, 8192, /*pre_pinned=*/true));
+    const auto dereg = reg.deregisterRegion(0);
+    EXPECT_EQ(dereg.entries_freed, 2u);
+    EXPECT_EQ(dereg.cost, costs.table_remove + 2 * costs.page_pin);
+}
+
+TEST(MemoryRegistry, SlotsReusedAfterRegionFree)
+{
+    MemoryRegistry reg(smallTable(), 4);
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(reg.registerMemory(0x1000 + i * 0x1000, 64, true));
+    reg.deregisterRegion(0); // frees slots 0-3
+    auto r = reg.registerMemory(0x90000, 64, true);
+    ASSERT_TRUE(r);
+    EXPECT_LT(r->handle.slot, 4u);
+}
+
+TEST(MemoryRegistry, StatsTrackOperations)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs, 4);
+    auto r0 = reg.registerMemory(0x1000, 4096, true);
+    auto r1 = reg.registerMemory(0x3000, 4096, true);
+    ASSERT_TRUE(r0 && r1);
+    reg.deregister(r0->handle);
+    reg.deregisterRegion(0);
+    EXPECT_EQ(reg.registrationCount(), 2u);
+    EXPECT_EQ(reg.deregistrationCount(), 1u);
+    EXPECT_EQ(reg.regionDeregCount(), 1u);
+    EXPECT_EQ(reg.peakRegisteredBytes(), 8192u);
+}
+
+TEST(MemoryRegistry, PaperScaleRegionIsThousandEntries)
+{
+    ViCosts costs;
+    MemoryRegistry reg(costs); // default region = 1000 entries
+    EXPECT_EQ(reg.regionEntries(), 1000u);
+}
+
+} // namespace
+} // namespace v3sim::vi

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the RNG and distributions: determinism, ranges, and
+ * distribution moments (loose statistical bounds, fixed seeds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace v3sim::sim
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.uniformInt(3, 10);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 10u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 10;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, ExponentialMeanApproximate)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(40.0);
+    EXPECT_NEAR(sum / n, 40.0, 0.5);
+}
+
+TEST(Rng, NormalMomentsApproximate)
+{
+    Rng rng(19);
+    double sum = 0, sumsq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(100.0, 15.0, /*nonneg=*/false);
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 100.0, 0.5);
+    EXPECT_NEAR(std::sqrt(var), 15.0, 0.5);
+}
+
+TEST(Rng, NormalNonNegClamps)
+{
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.normal(1.0, 10.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.7);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.7, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // The fork must not replay the parent stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    Rng rng(37);
+    ZipfGenerator zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (const int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Rng rng(41);
+    ZipfGenerator zipf(1000, 0.99);
+    int first_ten = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        first_ten += zipf.sample(rng) < 10;
+    // With theta ~1 the head is heavily favored: rank<10 gets well
+    // over a third of accesses across 1000 items.
+    EXPECT_GT(static_cast<double>(first_ten) / n, 0.3);
+}
+
+TEST(Zipf, SamplesAlwaysInRange)
+{
+    Rng rng(43);
+    ZipfGenerator zipf(17, 0.8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 17u);
+}
+
+} // namespace
+} // namespace v3sim::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for RegCache: batched vs per-I/O deregistration policy,
+ * region retirement, and capacity-pressure flushing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsa/reg_cache.hh"
+
+namespace v3sim::dsa
+{
+namespace
+{
+
+vi::ViCosts
+smallNic()
+{
+    vi::ViCosts costs;
+    costs.max_registered_bytes = 1 * util::kMiB;
+    costs.max_table_entries = 256;
+    return costs;
+}
+
+TEST(RegCache, UnbatchedPaysPerIo)
+{
+    vi::ViCosts costs;
+    vi::MemoryRegistry registry(costs, 8);
+    RegCache cache(registry, /*pre_pinned=*/true, /*batched=*/false);
+
+    auto reg = cache.acquire(0x10000, 8192);
+    ASSERT_TRUE(reg.has_value());
+    EXPECT_EQ(reg->cost, costs.table_update);
+    EXPECT_EQ(cache.release(reg->handle), costs.table_remove);
+    EXPECT_EQ(registry.liveEntries(), 0u);
+}
+
+TEST(RegCache, BatchedReleaseIsFreeUntilRegionRetires)
+{
+    vi::ViCosts costs;
+    vi::MemoryRegistry registry(costs, 4);
+    RegCache cache(registry, true, true);
+
+    std::vector<vi::MemHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+        auto reg =
+            cache.acquire(0x10000 + i * 0x4000, 8192);
+        ASSERT_TRUE(reg);
+        handles.push_back(reg->handle);
+    }
+    // First three releases free nothing (region not fully covered
+    // until all four allocations AND releases happened).
+    EXPECT_EQ(cache.release(handles[0]), 0);
+    EXPECT_EQ(cache.release(handles[1]), 0);
+    EXPECT_EQ(cache.release(handles[2]), 0);
+    EXPECT_EQ(registry.liveEntries(), 4u);
+    // The fourth completes the region: one table operation frees it.
+    EXPECT_EQ(cache.release(handles[3]), costs.table_remove);
+    EXPECT_EQ(registry.liveEntries(), 0u);
+    EXPECT_EQ(registry.regionDeregCount(), 1u);
+}
+
+TEST(RegCache, PartialRegionHeldUntilAllocationsComplete)
+{
+    vi::ViCosts costs;
+    vi::MemoryRegistry registry(costs, 4);
+    RegCache cache(registry, true, true);
+
+    auto r0 = cache.acquire(0x10000, 4096);
+    ASSERT_TRUE(r0);
+    // Released, but the region has only 1 of 4 entries allocated:
+    // the entry stays in the table (paper: a region deregisters when
+    // all its buffers have completed — i.e. when it has filled and
+    // drained).
+    EXPECT_EQ(cache.release(r0->handle), 0);
+    EXPECT_EQ(registry.liveEntries(), 1u);
+
+    // Filling the region with three more I/Os and completing them
+    // retires it.
+    std::vector<vi::MemHandle> handles;
+    for (int i = 1; i < 4; ++i) {
+        auto reg = cache.acquire(0x20000 + i * 0x4000, 4096);
+        ASSERT_TRUE(reg);
+        handles.push_back(reg->handle);
+    }
+    for (auto &handle : handles)
+        cache.release(handle);
+    EXPECT_EQ(registry.liveEntries(), 0u);
+}
+
+TEST(RegCache, CapacityPressureForcesFlush)
+{
+    // NIC limited to 1 MiB registered; the region (256 entries) is
+    // larger than the test's I/O count, so no region ever fills and
+    // retires on its own — entries linger even after completion.
+    // When the capacity trips, acquire() must flush drained regions
+    // and succeed.
+    vi::MemoryRegistry registry(smallNic(), 256);
+    RegCache cache(registry, true, true);
+
+    std::vector<vi::MemHandle> handles;
+    uint64_t addr = 1 << 20;
+    // 128 x 8K = 1 MiB: fills capacity exactly.
+    for (int i = 0; i < 128; ++i) {
+        auto reg = cache.acquire(addr, 8192);
+        ASSERT_TRUE(reg.has_value()) << "i=" << i;
+        handles.push_back(reg->handle);
+        addr += 16384;
+    }
+    // Everything completed, but regions linger (second region only
+    // half allocated).
+    for (auto &handle : handles)
+        cache.release(handle);
+    EXPECT_GT(registry.registeredBytes(), 0u);
+
+    // The next acquire exceeds capacity, forcing the flush path.
+    auto reg = cache.acquire(addr, 8192);
+    ASSERT_TRUE(reg.has_value());
+    EXPECT_EQ(cache.forcedFlushCount(), 1u);
+    EXPECT_GT(reg->cost, 0);
+    cache.release(reg->handle);
+}
+
+TEST(RegCache, PinningFollowsPrePinnedFlag)
+{
+    vi::ViCosts costs;
+    vi::MemoryRegistry registry(costs, 8);
+    RegCache pinned(registry, /*pre_pinned=*/false,
+                    /*batched=*/false);
+    auto reg = pinned.acquire(0x40000, 8192);
+    ASSERT_TRUE(reg);
+    // 2 pages pinned + table update.
+    EXPECT_EQ(reg->cost, costs.table_update + 2 * costs.page_pin);
+    // Release unpins as well.
+    EXPECT_EQ(pinned.release(reg->handle),
+              costs.table_remove + 2 * costs.page_pin);
+}
+
+} // namespace
+} // namespace v3sim::dsa

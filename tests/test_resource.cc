@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for ServerPool queueing and Semaphore fairness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+
+namespace v3sim::sim
+{
+namespace
+{
+
+TEST(ServerPool, SingleServerSerializesJobs)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 1);
+    std::vector<Tick> done_at;
+    for (int i = 0; i < 3; ++i)
+        pool.submit(usecs(10), [&] { done_at.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done_at.size(), 3u);
+    EXPECT_EQ(done_at[0], usecs(10));
+    EXPECT_EQ(done_at[1], usecs(20));
+    EXPECT_EQ(done_at[2], usecs(30));
+}
+
+TEST(ServerPool, MultiServerRunsInParallel)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 2);
+    std::vector<Tick> done_at;
+    for (int i = 0; i < 4; ++i)
+        pool.submit(usecs(10), [&] { done_at.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done_at.size(), 4u);
+    EXPECT_EQ(done_at[0], usecs(10));
+    EXPECT_EQ(done_at[1], usecs(10));
+    EXPECT_EQ(done_at[2], usecs(20));
+    EXPECT_EQ(done_at[3], usecs(20));
+}
+
+TEST(ServerPool, AwaitableUse)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 1);
+    Tick finished = -1;
+    spawn([](Simulation &s, ServerPool &p, Tick &out) -> Task<> {
+        co_await p.use(usecs(25));
+        out = s.now();
+    }(sim, pool, finished));
+    sim.run();
+    EXPECT_EQ(finished, usecs(25));
+}
+
+TEST(ServerPool, WaitStatsMeasureQueueing)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 1);
+    pool.submit(usecs(10), [] {});
+    pool.submit(usecs(10), [] {});
+    pool.submit(usecs(10), [] {});
+    sim.run();
+    // Waits: 0, 10us, 20us -> mean 10us.
+    EXPECT_EQ(pool.waitStats().count(), 3u);
+    EXPECT_DOUBLE_EQ(pool.waitStats().mean(),
+                     static_cast<double>(usecs(10)));
+    EXPECT_EQ(pool.completedCount(), 3u);
+}
+
+TEST(ServerPool, UtilizationReflectsBusyFraction)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 2);
+    pool.submit(usecs(10), [] {});
+    sim.run();
+    sim.runUntil(usecs(20));
+    // One of two servers busy for 10us of a 20us window.
+    EXPECT_NEAR(pool.utilization(), 0.25, 1e-9);
+}
+
+TEST(ServerPool, ZeroServiceJobsCompleteSameTick)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 1);
+    bool done = false;
+    pool.submit(0, [&] { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(ServerPool, ResetStatsClearsWindow)
+{
+    Simulation sim;
+    ServerPool pool(sim.queue(), 1);
+    pool.submit(usecs(10), [] {});
+    sim.run();
+    pool.resetStats();
+    sim.runUntil(usecs(30));
+    EXPECT_NEAR(pool.utilization(), 0.0, 1e-9);
+    EXPECT_EQ(pool.completedCount(), 0u);
+}
+
+TEST(Semaphore, TryAcquireRespectsCount)
+{
+    Semaphore sem(2);
+    EXPECT_TRUE(sem.tryAcquire());
+    EXPECT_TRUE(sem.tryAcquire());
+    EXPECT_FALSE(sem.tryAcquire());
+    sem.release();
+    EXPECT_TRUE(sem.tryAcquire());
+}
+
+TEST(Semaphore, AcquireBlocksUntilRelease)
+{
+    Simulation sim;
+    Semaphore sem(1);
+    std::vector<int> order;
+    auto worker = [](Simulation &s, Semaphore &sm,
+                     std::vector<int> &out, int id) -> Task<> {
+        co_await sm.acquire();
+        out.push_back(id);
+        co_await s.sleep(usecs(10));
+        sm.release();
+    };
+    spawn(worker(sim, sem, order, 1));
+    spawn(worker(sim, sem, order, 2));
+    spawn(worker(sim, sem, order, 3));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(Semaphore, ReleaseManyWakesFifo)
+{
+    Simulation sim;
+    Semaphore sem(0);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        spawn([](Semaphore &sm, std::vector<int> &out, int id) -> Task<> {
+            co_await sm.acquire();
+            out.push_back(id);
+        }(sem, order, i));
+    }
+    sim.run();
+    EXPECT_EQ(sem.waiterCount(), 4u);
+    sem.release(2);
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    sem.release(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(sem.available(), 8);
+}
+
+} // namespace
+} // namespace v3sim::sim

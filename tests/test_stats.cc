@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace v3sim::sim
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.increment(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Sampler, EmptyIsZero)
+{
+    Sampler s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Sampler, MomentsExact)
+{
+    Sampler s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic textbook data set
+}
+
+TEST(Sampler, ResetClears)
+{
+    Sampler s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, QuantilesOrdered)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+    EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(Histogram, SingleValueQuantile)
+{
+    Histogram h;
+    h.add(100.0);
+    // 100 falls in bucket [64, 128) whose midpoint is 96.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 96.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(TimeWeighted, AveragesPiecewiseConstant)
+{
+    TimeWeighted tw;
+    tw.reset(0, 0.0);
+    tw.set(usecs(10), 4.0);  // 0 for [0,10)
+    tw.set(usecs(30), 0.0);  // 4 for [10,30)
+    // Average over [0,40]: (0*10 + 4*20 + 0*10) / 40 = 2.
+    EXPECT_DOUBLE_EQ(tw.average(usecs(40)), 2.0);
+}
+
+TEST(TimeWeighted, AdjustTracksDeltas)
+{
+    TimeWeighted tw;
+    tw.reset(0, 0.0);
+    tw.adjust(0, 2.0);
+    tw.adjust(usecs(10), 2.0);
+    EXPECT_DOUBLE_EQ(tw.current(), 4.0);
+    // [0,10): 2, [10,20): 4 -> avg 3 over [0,20].
+    EXPECT_DOUBLE_EQ(tw.average(usecs(20)), 3.0);
+}
+
+TEST(TimeWeighted, ZeroSpanReturnsCurrent)
+{
+    TimeWeighted tw;
+    tw.reset(usecs(5), 7.0);
+    EXPECT_DOUBLE_EQ(tw.average(usecs(5)), 7.0);
+}
+
+} // namespace
+} // namespace v3sim::sim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the TPC-C workload model: mix frequencies, demand
+ * scaling, I/O distributions, and the hot/cold offset skew.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.hh"
+#include "tpcc/workload.hh"
+
+namespace v3sim::tpcc
+{
+namespace
+{
+
+TpccConfig
+smallConfig()
+{
+    TpccConfig config;
+    config.warehouses = 10;
+    config.bytes_per_warehouse = 8 * util::kMiB;
+    return config;
+}
+
+TEST(Workload, MixMatchesStandardWeights)
+{
+    Workload workload(smallConfig(), UINT64_MAX, sim::Rng(5));
+    std::map<TxnType, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[workload.sampleType()];
+    EXPECT_NEAR(counts[TxnType::NewOrder] / double(n), 0.45, 0.01);
+    EXPECT_NEAR(counts[TxnType::Payment] / double(n), 0.43, 0.01);
+    EXPECT_NEAR(counts[TxnType::OrderStatus] / double(n), 0.04,
+                0.005);
+    EXPECT_NEAR(counts[TxnType::Delivery] / double(n), 0.04, 0.005);
+    EXPECT_NEAR(counts[TxnType::StockLevel] / double(n), 0.04,
+                0.005);
+}
+
+TEST(Workload, ReadFractionHonored)
+{
+    Workload workload(smallConfig(), UINT64_MAX, sim::Rng(7));
+    int reads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        reads += workload.sampleIsRead();
+    EXPECT_NEAR(reads / double(n), 0.70, 0.01);
+}
+
+TEST(Workload, IoCountScalesWithTransactionType)
+{
+    Workload workload(smallConfig(), UINT64_MAX, sim::Rng(9));
+    auto mean_ios = [&](TxnType type) {
+        double sum = 0;
+        for (int i = 0; i < 20000; ++i)
+            sum += workload.sampleIoCount(type);
+        return sum / 20000;
+    };
+    const double new_order = mean_ios(TxnType::NewOrder);
+    const double payment = mean_ios(TxnType::Payment);
+    const double delivery = mean_ios(TxnType::Delivery);
+    EXPECT_NEAR(new_order, smallConfig().ios_per_txn, 0.5);
+    EXPECT_LT(payment, new_order);
+    EXPECT_GT(delivery, 1.5 * new_order);
+    // Always at least one I/O.
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(workload.sampleIoCount(TxnType::Payment), 1u);
+}
+
+TEST(Workload, CpuDemandScalesWithType)
+{
+    Workload workload(smallConfig(), UINT64_MAX, sim::Rng(11));
+    EXPECT_GT(workload.cpuDemand(TxnType::StockLevel),
+              workload.cpuDemand(TxnType::NewOrder));
+    EXPECT_LT(workload.cpuDemand(TxnType::Payment),
+              workload.cpuDemand(TxnType::NewOrder));
+}
+
+TEST(Workload, OffsetsPageAlignedAndInRange)
+{
+    Workload workload(smallConfig(), UINT64_MAX, sim::Rng(13));
+    for (int i = 0; i < 50000; ++i) {
+        const uint64_t offset = workload.sampleOffset();
+        EXPECT_EQ(offset % 8192, 0u);
+        EXPECT_LT(offset, workload.workingSetBytes());
+    }
+}
+
+TEST(Workload, HotSkewConcentratesAccesses)
+{
+    TpccConfig config = smallConfig();
+    config.hot_access_fraction = 0.45;
+    config.hot_space_fraction = 0.05;
+    Workload workload(config, UINT64_MAX, sim::Rng(15));
+    const uint64_t hot_limit = static_cast<uint64_t>(
+        workload.workingSetBytes() * 0.05);
+    int hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hot += workload.sampleOffset() < hot_limit;
+    EXPECT_NEAR(hot / double(n), 0.45, 0.02);
+}
+
+TEST(Workload, WorkingSetClampsToDevice)
+{
+    TpccConfig config = smallConfig(); // 80 MiB nominal
+    Workload workload(config, 16 * util::kMiB, sim::Rng(17));
+    EXPECT_LE(workload.workingSetBytes(), 16 * util::kMiB);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(workload.sampleOffset(), 16 * util::kMiB);
+}
+
+TEST(Workload, PaperScaleConfigs)
+{
+    // Section 6: 1,625 warehouses ~ 100 GB; 10,000 ~ 1 TB (before
+    // the simulation's documented working-set scaling).
+    TpccConfig mid;
+    mid.warehouses = 1625;
+    mid.bytes_per_warehouse = 64 * util::kMiB;
+    EXPECT_NEAR(static_cast<double>(mid.workingSetBytes()) /
+                    (100.0 * 1024 * 1024 * 1024),
+                1.0, 0.05);
+}
+
+TEST(Workload, TypeNames)
+{
+    EXPECT_STREQ(txnTypeName(TxnType::NewOrder), "New-Order");
+    EXPECT_STREQ(txnTypeName(TxnType::StockLevel), "Stock-Level");
+}
+
+} // namespace
+} // namespace v3sim::tpcc

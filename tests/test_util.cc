@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for util: size parsing/formatting and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace v3sim::util
+{
+namespace
+{
+
+TEST(Units, ParsePlainBytes)
+{
+    EXPECT_EQ(parseSize("512"), 512u);
+    EXPECT_EQ(parseSize("0"), 0u);
+}
+
+TEST(Units, ParseSuffixes)
+{
+    EXPECT_EQ(parseSize("8K"), 8u * 1024);
+    EXPECT_EQ(parseSize("8k"), 8u * 1024);
+    EXPECT_EQ(parseSize("64K"), 64u * 1024);
+    EXPECT_EQ(parseSize("4M"), 4u * 1024 * 1024);
+    EXPECT_EQ(parseSize("2G"), 2ull * 1024 * 1024 * 1024);
+    EXPECT_EQ(parseSize("8KB"), 8u * 1024);
+    EXPECT_EQ(parseSize("8KiB"), 8u * 1024);
+}
+
+TEST(Units, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(parseSize("").has_value());
+    EXPECT_FALSE(parseSize("abc").has_value());
+    EXPECT_FALSE(parseSize("8Q").has_value());
+    EXPECT_FALSE(parseSize("8Kx").has_value());
+}
+
+TEST(Units, FormatRoundTrips)
+{
+    EXPECT_EQ(formatSize(512), "512");
+    EXPECT_EQ(formatSize(8 * 1024), "8K");
+    EXPECT_EQ(formatSize(128 * 1024), "128K");
+    EXPECT_EQ(formatSize(4 * 1024 * 1024), "4M");
+    EXPECT_EQ(formatSize(3ull * 1024 * 1024 * 1024), "3G");
+    EXPECT_EQ(formatSize(1000), "1000"); // not a clean multiple
+}
+
+TEST(Units, FormatTimes)
+{
+    EXPECT_EQ(formatUsecs(7000), "7.0 us");
+    EXPECT_EQ(formatMsecs(1500000), "1.500 ms");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"size", "latency"});
+    t.addRow({"512", "10.0"});
+    t.addRow({"128K", "200.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("size"), std::string::npos);
+    EXPECT_NE(out.find("128K"), std::string::npos);
+    EXPECT_NE(out.find("200.5"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(static_cast<int64_t>(42)), "42");
+}
+
+TEST(Table, MissingCellsRenderEmpty)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"x"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+} // namespace
+} // namespace v3sim::util
