@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dereg_region.dir/abl_dereg_region.cc.o"
+  "CMakeFiles/abl_dereg_region.dir/abl_dereg_region.cc.o.d"
+  "abl_dereg_region"
+  "abl_dereg_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dereg_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

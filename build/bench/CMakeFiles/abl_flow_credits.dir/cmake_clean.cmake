@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_flow_credits.dir/abl_flow_credits.cc.o"
+  "CMakeFiles/abl_flow_credits.dir/abl_flow_credits.cc.o.d"
+  "abl_flow_credits"
+  "abl_flow_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flow_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

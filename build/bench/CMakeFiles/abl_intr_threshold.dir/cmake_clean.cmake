@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_intr_threshold.dir/abl_intr_threshold.cc.o"
+  "CMakeFiles/abl_intr_threshold.dir/abl_intr_threshold.cc.o.d"
+  "abl_intr_threshold"
+  "abl_intr_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_intr_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

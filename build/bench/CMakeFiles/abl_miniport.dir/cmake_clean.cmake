@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_miniport.dir/abl_miniport.cc.o"
+  "CMakeFiles/abl_miniport.dir/abl_miniport.cc.o.d"
+  "abl_miniport"
+  "abl_miniport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_miniport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

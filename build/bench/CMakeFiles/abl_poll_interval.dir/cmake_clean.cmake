@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_poll_interval.dir/abl_poll_interval.cc.o"
+  "CMakeFiles/abl_poll_interval.dir/abl_poll_interval.cc.o.d"
+  "abl_poll_interval"
+  "abl_poll_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_poll_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

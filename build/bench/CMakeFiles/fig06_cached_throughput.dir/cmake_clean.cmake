@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cached_throughput.dir/fig06_cached_throughput.cc.o"
+  "CMakeFiles/fig06_cached_throughput.dir/fig06_cached_throughput.cc.o.d"
+  "fig06_cached_throughput"
+  "fig06_cached_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cached_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

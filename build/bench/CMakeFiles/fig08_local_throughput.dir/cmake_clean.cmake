@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_local_throughput.dir/fig08_local_throughput.cc.o"
+  "CMakeFiles/fig08_local_throughput.dir/fig08_local_throughput.cc.o.d"
+  "fig08_local_throughput"
+  "fig08_local_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_local_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

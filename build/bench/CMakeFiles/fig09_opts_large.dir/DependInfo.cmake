@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_opts_large.cc" "bench/CMakeFiles/fig09_opts_large.dir/fig09_opts_large.cc.o" "gcc" "bench/CMakeFiles/fig09_opts_large.dir/fig09_opts_large.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/v3sim_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/v3sim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/v3sim_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/v3sim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsa/CMakeFiles/v3sim_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/v3sim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/osmodel/CMakeFiles/v3sim_osmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vi/CMakeFiles/v3sim_vi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v3sim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v3sim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v3sim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

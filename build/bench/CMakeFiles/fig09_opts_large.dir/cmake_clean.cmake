@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_opts_large.dir/fig09_opts_large.cc.o"
+  "CMakeFiles/fig09_opts_large.dir/fig09_opts_large.cc.o.d"
+  "fig09_opts_large"
+  "fig09_opts_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_opts_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpmc_large.dir/fig10_tpmc_large.cc.o"
+  "CMakeFiles/fig10_tpmc_large.dir/fig10_tpmc_large.cc.o.d"
+  "fig10_tpmc_large"
+  "fig10_tpmc_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpmc_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

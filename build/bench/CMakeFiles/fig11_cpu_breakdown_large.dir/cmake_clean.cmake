@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu_breakdown_large.dir/fig11_cpu_breakdown_large.cc.o"
+  "CMakeFiles/fig11_cpu_breakdown_large.dir/fig11_cpu_breakdown_large.cc.o.d"
+  "fig11_cpu_breakdown_large"
+  "fig11_cpu_breakdown_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_breakdown_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

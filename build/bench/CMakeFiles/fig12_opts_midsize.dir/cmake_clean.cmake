@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_opts_midsize.dir/fig12_opts_midsize.cc.o"
+  "CMakeFiles/fig12_opts_midsize.dir/fig12_opts_midsize.cc.o.d"
+  "fig12_opts_midsize"
+  "fig12_opts_midsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_opts_midsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tpmc_midsize.dir/fig13_tpmc_midsize.cc.o"
+  "CMakeFiles/fig13_tpmc_midsize.dir/fig13_tpmc_midsize.cc.o.d"
+  "fig13_tpmc_midsize"
+  "fig13_tpmc_midsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tpmc_midsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

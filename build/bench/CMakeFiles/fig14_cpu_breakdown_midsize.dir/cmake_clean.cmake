@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cpu_breakdown_midsize.dir/fig14_cpu_breakdown_midsize.cc.o"
+  "CMakeFiles/fig14_cpu_breakdown_midsize.dir/fig14_cpu_breakdown_midsize.cc.o.d"
+  "fig14_cpu_breakdown_midsize"
+  "fig14_cpu_breakdown_midsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cpu_breakdown_midsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

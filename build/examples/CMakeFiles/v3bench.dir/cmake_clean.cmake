@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3bench.dir/v3bench.cpp.o"
+  "CMakeFiles/v3bench.dir/v3bench.cpp.o.d"
+  "v3bench"
+  "v3bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

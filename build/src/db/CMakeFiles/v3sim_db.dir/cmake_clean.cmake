@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_db.dir/oltp_engine.cc.o"
+  "CMakeFiles/v3sim_db.dir/oltp_engine.cc.o.d"
+  "libv3sim_db.a"
+  "libv3sim_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

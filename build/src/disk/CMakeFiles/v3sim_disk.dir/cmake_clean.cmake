@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_disk.dir/disk.cc.o"
+  "CMakeFiles/v3sim_disk.dir/disk.cc.o.d"
+  "CMakeFiles/v3sim_disk.dir/disk_spec.cc.o"
+  "CMakeFiles/v3sim_disk.dir/disk_spec.cc.o.d"
+  "CMakeFiles/v3sim_disk.dir/volume.cc.o"
+  "CMakeFiles/v3sim_disk.dir/volume.cc.o.d"
+  "libv3sim_disk.a"
+  "libv3sim_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

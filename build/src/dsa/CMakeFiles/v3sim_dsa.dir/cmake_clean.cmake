@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_dsa.dir/cdsa_api.cc.o"
+  "CMakeFiles/v3sim_dsa.dir/cdsa_api.cc.o.d"
+  "CMakeFiles/v3sim_dsa.dir/dsa_client.cc.o"
+  "CMakeFiles/v3sim_dsa.dir/dsa_client.cc.o.d"
+  "CMakeFiles/v3sim_dsa.dir/local_backend.cc.o"
+  "CMakeFiles/v3sim_dsa.dir/local_backend.cc.o.d"
+  "libv3sim_dsa.a"
+  "libv3sim_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

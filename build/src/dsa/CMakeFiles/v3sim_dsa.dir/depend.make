@@ -1,0 +1,2 @@
+# Empty dependencies file for v3sim_dsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_net.dir/fabric.cc.o"
+  "CMakeFiles/v3sim_net.dir/fabric.cc.o.d"
+  "libv3sim_net.a"
+  "libv3sim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osmodel/cpu_pool.cc" "src/osmodel/CMakeFiles/v3sim_osmodel.dir/cpu_pool.cc.o" "gcc" "src/osmodel/CMakeFiles/v3sim_osmodel.dir/cpu_pool.cc.o.d"
+  "/root/repo/src/osmodel/io_manager.cc" "src/osmodel/CMakeFiles/v3sim_osmodel.dir/io_manager.cc.o" "gcc" "src/osmodel/CMakeFiles/v3sim_osmodel.dir/io_manager.cc.o.d"
+  "/root/repo/src/osmodel/sim_lock.cc" "src/osmodel/CMakeFiles/v3sim_osmodel.dir/sim_lock.cc.o" "gcc" "src/osmodel/CMakeFiles/v3sim_osmodel.dir/sim_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/v3sim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v3sim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_osmodel.dir/cpu_pool.cc.o"
+  "CMakeFiles/v3sim_osmodel.dir/cpu_pool.cc.o.d"
+  "CMakeFiles/v3sim_osmodel.dir/io_manager.cc.o"
+  "CMakeFiles/v3sim_osmodel.dir/io_manager.cc.o.d"
+  "CMakeFiles/v3sim_osmodel.dir/sim_lock.cc.o"
+  "CMakeFiles/v3sim_osmodel.dir/sim_lock.cc.o.d"
+  "libv3sim_osmodel.a"
+  "libv3sim_osmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_osmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_scenarios.dir/microbench.cc.o"
+  "CMakeFiles/v3sim_scenarios.dir/microbench.cc.o.d"
+  "CMakeFiles/v3sim_scenarios.dir/testbed.cc.o"
+  "CMakeFiles/v3sim_scenarios.dir/testbed.cc.o.d"
+  "CMakeFiles/v3sim_scenarios.dir/tpcc_run.cc.o"
+  "CMakeFiles/v3sim_scenarios.dir/tpcc_run.cc.o.d"
+  "libv3sim_scenarios.a"
+  "libv3sim_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/v3sim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/v3sim_sim.dir/memory.cc.o"
+  "CMakeFiles/v3sim_sim.dir/memory.cc.o.d"
+  "CMakeFiles/v3sim_sim.dir/random.cc.o"
+  "CMakeFiles/v3sim_sim.dir/random.cc.o.d"
+  "CMakeFiles/v3sim_sim.dir/resource.cc.o"
+  "CMakeFiles/v3sim_sim.dir/resource.cc.o.d"
+  "CMakeFiles/v3sim_sim.dir/simulation.cc.o"
+  "CMakeFiles/v3sim_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/v3sim_sim.dir/stats.cc.o"
+  "CMakeFiles/v3sim_sim.dir/stats.cc.o.d"
+  "libv3sim_sim.a"
+  "libv3sim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libv3sim_sim.a"
+)

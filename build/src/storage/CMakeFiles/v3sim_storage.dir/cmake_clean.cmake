@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_storage.dir/block_cache.cc.o"
+  "CMakeFiles/v3sim_storage.dir/block_cache.cc.o.d"
+  "CMakeFiles/v3sim_storage.dir/mq_cache.cc.o"
+  "CMakeFiles/v3sim_storage.dir/mq_cache.cc.o.d"
+  "CMakeFiles/v3sim_storage.dir/v3_server.cc.o"
+  "CMakeFiles/v3sim_storage.dir/v3_server.cc.o.d"
+  "libv3sim_storage.a"
+  "libv3sim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

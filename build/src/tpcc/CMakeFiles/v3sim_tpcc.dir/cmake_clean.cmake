@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_tpcc.dir/workload.cc.o"
+  "CMakeFiles/v3sim_tpcc.dir/workload.cc.o.d"
+  "libv3sim_tpcc.a"
+  "libv3sim_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

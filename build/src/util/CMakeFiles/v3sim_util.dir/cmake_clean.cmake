@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_util.dir/logging.cc.o"
+  "CMakeFiles/v3sim_util.dir/logging.cc.o.d"
+  "CMakeFiles/v3sim_util.dir/table.cc.o"
+  "CMakeFiles/v3sim_util.dir/table.cc.o.d"
+  "CMakeFiles/v3sim_util.dir/units.cc.o"
+  "CMakeFiles/v3sim_util.dir/units.cc.o.d"
+  "libv3sim_util.a"
+  "libv3sim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

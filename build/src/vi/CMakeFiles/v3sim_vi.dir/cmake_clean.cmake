@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v3sim_vi.dir/fault_injector.cc.o"
+  "CMakeFiles/v3sim_vi.dir/fault_injector.cc.o.d"
+  "CMakeFiles/v3sim_vi.dir/memory_registry.cc.o"
+  "CMakeFiles/v3sim_vi.dir/memory_registry.cc.o.d"
+  "CMakeFiles/v3sim_vi.dir/vi_nic.cc.o"
+  "CMakeFiles/v3sim_vi.dir/vi_nic.cc.o.d"
+  "libv3sim_vi.a"
+  "libv3sim_vi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v3sim_vi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

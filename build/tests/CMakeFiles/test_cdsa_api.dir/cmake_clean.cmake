@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdsa_api.dir/test_cdsa_api.cc.o"
+  "CMakeFiles/test_cdsa_api.dir/test_cdsa_api.cc.o.d"
+  "test_cdsa_api"
+  "test_cdsa_api.pdb"
+  "test_cdsa_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdsa_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

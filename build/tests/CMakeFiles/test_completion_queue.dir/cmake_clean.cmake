@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_completion_queue.dir/test_completion_queue.cc.o"
+  "CMakeFiles/test_completion_queue.dir/test_completion_queue.cc.o.d"
+  "test_completion_queue"
+  "test_completion_queue.pdb"
+  "test_completion_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_completion_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

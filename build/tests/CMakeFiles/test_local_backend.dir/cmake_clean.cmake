@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_backend.dir/test_local_backend.cc.o"
+  "CMakeFiles/test_local_backend.dir/test_local_backend.cc.o.d"
+  "test_local_backend"
+  "test_local_backend.pdb"
+  "test_local_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

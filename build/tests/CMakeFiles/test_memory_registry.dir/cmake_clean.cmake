@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_registry.dir/test_memory_registry.cc.o"
+  "CMakeFiles/test_memory_registry.dir/test_memory_registry.cc.o.d"
+  "test_memory_registry"
+  "test_memory_registry.pdb"
+  "test_memory_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mq_cache.dir/test_mq_cache.cc.o"
+  "CMakeFiles/test_mq_cache.dir/test_mq_cache.cc.o.d"
+  "test_mq_cache"
+  "test_mq_cache.pdb"
+  "test_mq_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mq_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

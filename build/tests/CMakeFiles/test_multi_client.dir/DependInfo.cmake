@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_multi_client.cc" "tests/CMakeFiles/test_multi_client.dir/test_multi_client.cc.o" "gcc" "tests/CMakeFiles/test_multi_client.dir/test_multi_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsa/CMakeFiles/v3sim_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/v3sim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/v3sim_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/osmodel/CMakeFiles/v3sim_osmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vi/CMakeFiles/v3sim_vi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v3sim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v3sim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v3sim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oltp_engine.dir/test_oltp_engine.cc.o"
+  "CMakeFiles/test_oltp_engine.dir/test_oltp_engine.cc.o.d"
+  "test_oltp_engine"
+  "test_oltp_engine.pdb"
+  "test_oltp_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oltp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

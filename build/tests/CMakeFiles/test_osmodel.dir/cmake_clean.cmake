@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osmodel.dir/test_osmodel.cc.o"
+  "CMakeFiles/test_osmodel.dir/test_osmodel.cc.o.d"
+  "test_osmodel"
+  "test_osmodel.pdb"
+  "test_osmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

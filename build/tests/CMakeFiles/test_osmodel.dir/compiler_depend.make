@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_osmodel.
+# This may be replaced when dependencies are built.

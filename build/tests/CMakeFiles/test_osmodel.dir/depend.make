@@ -1,0 +1,2 @@
+# Empty dependencies file for test_osmodel.
+# This may be replaced when dependencies are built.

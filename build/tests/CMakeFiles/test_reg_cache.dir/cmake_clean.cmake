@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reg_cache.dir/test_reg_cache.cc.o"
+  "CMakeFiles/test_reg_cache.dir/test_reg_cache.cc.o.d"
+  "test_reg_cache"
+  "test_reg_cache.pdb"
+  "test_reg_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reg_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_lock.dir/test_sim_lock.cc.o"
+  "CMakeFiles/test_sim_lock.dir/test_sim_lock.cc.o.d"
+  "test_sim_lock"
+  "test_sim_lock.pdb"
+  "test_sim_lock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_striped_device.dir/test_striped_device.cc.o"
+  "CMakeFiles/test_striped_device.dir/test_striped_device.cc.o.d"
+  "test_striped_device"
+  "test_striped_device.pdb"
+  "test_striped_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_striped_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

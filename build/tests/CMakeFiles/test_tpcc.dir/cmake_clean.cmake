@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpcc.dir/test_tpcc.cc.o"
+  "CMakeFiles/test_tpcc.dir/test_tpcc.cc.o.d"
+  "test_tpcc"
+  "test_tpcc.pdb"
+  "test_tpcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
