@@ -14,6 +14,7 @@
 #include "scenarios/tpcc_run.hh"
 #include "sim/random.hh"
 #include "storage/mq_cache.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
@@ -23,8 +24,9 @@ namespace
 {
 
 void
-syntheticSweep()
+syntheticSweep(util::BenchReporter &reporter)
 {
+    const int touches = reporter.quick() ? 50000 : 400000;
     std::printf("Synthetic second-level trace (frequency-skewed, "
                 "recency-poor):\n");
     util::TextTable table(
@@ -43,7 +45,7 @@ syntheticSweep()
             if (cache.insertAndPin(key))
                 cache.unpin(key);
         };
-        for (int i = 0; i < 400000; ++i) {
+        for (int i = 0; i < touches; ++i) {
             uint64_t block;
             if (rng.bernoulli(0.5))
                 block = rng.uniformInt(0, capacity / 2);
@@ -56,6 +58,12 @@ syntheticSweep()
             {util::TextTable::num(static_cast<int64_t>(capacity)),
              util::TextTable::num(lru.hitRatio() * 100, 1),
              util::TextTable::num(mq.hitRatio() * 100, 1)});
+        reporter.beginRow();
+        reporter.col("series", std::string("synthetic"));
+        reporter.col("cache_blocks",
+                     static_cast<int64_t>(capacity));
+        reporter.col("lru_hit_pct", lru.hitRatio() * 100);
+        reporter.col("mq_hit_pct", mq.hitRatio() * 100);
     }
     table.print();
 }
@@ -63,10 +71,11 @@ syntheticSweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("abl_cache_policy", argc, argv);
     std::printf("Ablation A4: V3 cache policy (MQ vs LRU)\n\n");
-    syntheticSweep();
+    syntheticSweep(reporter);
 
     std::printf("\nMid-size TPC-C (kDSA):\n");
     util::TextTable table({"policy", "tpmC(norm)", "hit%"});
@@ -78,15 +87,28 @@ main()
         config.backend = Backend::Kdsa;
         config.cache_policy = policy;
         config.window = sim::msecs(800);
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         if (base == 0)
             base = result.oltp.tpmc;
+        const char *name =
+            policy == storage::CachePolicy::Mq ? "MQ" : "LRU";
         table.addRow(
-            {policy == storage::CachePolicy::Mq ? "MQ" : "LRU",
+            {name,
              util::TextTable::num(result.oltp.tpmc / base * 100, 1),
              util::TextTable::num(result.server_cache_hit * 100,
                                   1)});
+        reporter.beginRow();
+        reporter.col("series", std::string("tpcc"));
+        reporter.col("policy", std::string(name));
+        reporter.col("tpmc_norm", result.oltp.tpmc / base * 100);
+        reporter.col("hit_pct", result.server_cache_hit * 100);
+        if (policy == storage::CachePolicy::Mq)
+            reporter.attachMetricsJson(result.metrics_json);
     }
     table.print();
-    return 0;
+    return reporter.write() ? 0 : 1;
 }

@@ -13,16 +13,20 @@
 
 #include "dsa/reg_cache.hh"
 #include "sim/random.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 #include "vi/memory_registry.hh"
 
 using namespace v3sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("abl_dereg_region", argc, argv);
+    const int kIos = reporter.quick() ? 100000 : 1000000;
+
     std::printf("Ablation A1: batched-dereg region size "
-                "(1M simulated I/O completions)\n\n");
+                "(%d simulated I/O completions)\n\n", kIos);
     util::TextTable table({"region", "dereg ops", "mean cost/IO(us)",
                            "forced flushes"});
 
@@ -37,7 +41,6 @@ main()
 
         sim::Rng rng(7);
         sim::Tick total_cost = 0;
-        const int kIos = 1000000;
         const int kOutstanding = 64;
         std::vector<vi::MemHandle> inflight;
         uint64_t next_addr = 1 << 20;
@@ -60,19 +63,30 @@ main()
         for (const auto &handle : inflight)
             total_cost += cache.release(handle);
 
+        const int64_t dereg_ops = static_cast<int64_t>(
+            registry.deregistrationCount() +
+            registry.regionDeregCount());
         table.addRow(
             {util::TextTable::num(static_cast<int64_t>(region)),
-             util::TextTable::num(static_cast<int64_t>(
-                 registry.deregistrationCount() +
-                 registry.regionDeregCount())),
+             util::TextTable::num(dereg_ops),
              util::TextTable::num(
                  sim::toUsecs(total_cost) / kIos, 3),
              util::TextTable::num(static_cast<int64_t>(
                  cache.forcedFlushCount()))});
+        reporter.beginRow();
+        reporter.col("region", static_cast<int64_t>(region));
+        reporter.col("dereg_ops", dereg_ops);
+        reporter.col("mean_cost_per_io_us",
+                     sim::toUsecs(total_cost) / kIos);
+        reporter.col("forced_flushes", static_cast<int64_t>(
+                                           cache.forcedFlushCount()));
     }
     table.print();
     std::printf("\nshape: cost/IO falls steeply then flattens near "
                 "the paper's 1000-entry choice; oversized regions "
                 "add capacity pressure\n");
-    return 0;
+    reporter.note("shape", "cost/IO falls steeply then flattens near "
+                           "the paper's 1000-entry choice; oversized "
+                           "regions add capacity pressure");
+    return reporter.write() ? 0 : 1;
 }

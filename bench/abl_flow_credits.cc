@@ -11,26 +11,34 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("abl_flow_credits", argc, argv);
+
     std::printf("Ablation A5: flow-control credits per connection "
                 "(mid-size TPC-C, kDSA)\n\n");
     util::TextTable table(
         {"credits", "tpmC(norm)", "iops", "txn lat(ms)"});
 
     double base = 0;
+    std::string last_metrics;
     for (const uint32_t credits : {2u, 4u, 8u, 16u, 32u, 64u}) {
         TpccRunConfig config;
         config.platform = Platform::MidSize;
         config.backend = Backend::Kdsa;
         config.window = sim::msecs(800);
         config.flow_credits = credits;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         if (base == 0)
             base = result.oltp.tpmc;
@@ -40,10 +48,21 @@ main()
              util::TextTable::num(result.oltp.io_per_second, 0),
              util::TextTable::num(
                  result.oltp.mean_txn_latency_us / 1e3, 1)});
+        reporter.beginRow();
+        reporter.col("credits", static_cast<int64_t>(credits));
+        reporter.col("tpmc_norm", result.oltp.tpmc / base * 100);
+        reporter.col("iops", result.oltp.io_per_second);
+        reporter.col("txn_lat_ms",
+                     result.oltp.mean_txn_latency_us / 1e3);
+        last_metrics = result.metrics_json;
     }
     table.print();
     std::printf("\nshape: throughput rises with credits until the "
                 "worker pool's concurrency is covered, then "
                 "flattens\n");
-    return 0;
+    reporter.note("shape", "throughput rises with credits until the "
+                           "worker pool's concurrency is covered, "
+                           "then flattens");
+    reporter.attachMetricsJson(std::move(last_metrics));
+    return reporter.write() ? 0 : 1;
 }

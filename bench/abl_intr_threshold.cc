@@ -11,14 +11,17 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("abl_intr_threshold", argc, argv);
+
     std::printf("Ablation A2: kDSA interrupt-batching watermarks "
                 "(mid-size TPC-C)\n\n");
     util::TextTable table(
@@ -30,6 +33,7 @@ main()
         uint32_t high;
         uint32_t low;
     };
+    std::string last_metrics;
     for (const Mark mark : {Mark{1, 0}, Mark{2, 1}, Mark{4, 2},
                             Mark{8, 4}, Mark{16, 8}, Mark{64, 32}}) {
         TpccRunConfig config;
@@ -38,23 +42,42 @@ main()
         config.window = sim::msecs(800);
         config.intr_high_watermark = mark.high;
         config.intr_low_watermark = mark.low;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         if (base == 0)
             base = result.oltp.tpmc;
         char label[32];
         std::snprintf(label, sizeof(label), "%u/%u", mark.high,
                       mark.low);
+        const double intr_per_sec =
+            static_cast<double>(result.host_interrupts) /
+            sim::toSecs(config.warmup + config.window);
         table.addRow(
             {label,
              util::TextTable::num(result.oltp.tpmc / base * 100, 1),
-             util::TextTable::num(static_cast<int64_t>(
-                 static_cast<double>(result.host_interrupts) /
-                 sim::toSecs(config.warmup + config.window)))});
+             util::TextTable::num(
+                 static_cast<int64_t>(intr_per_sec))});
+        reporter.beginRow();
+        reporter.col("high_watermark",
+                     static_cast<int64_t>(mark.high));
+        reporter.col("low_watermark",
+                     static_cast<int64_t>(mark.low));
+        reporter.col("tpmc_norm", result.oltp.tpmc / base * 100);
+        reporter.col("intr_per_sec", intr_per_sec);
+        last_metrics = result.metrics_json;
     }
     table.print();
     std::printf("\nshape: interrupts collapse once the high "
                 "watermark drops below the typical outstanding "
                 "count; tpmC is flat-to-rising as batching kicks "
                 "in\n");
-    return 0;
+    reporter.note("shape", "interrupts collapse once the high "
+                           "watermark drops below the typical "
+                           "outstanding count; tpmC flat-to-rising "
+                           "as batching kicks in");
+    reporter.attachMetricsJson(std::move(last_metrics));
+    return reporter.write() ? 0 : 1;
 }

@@ -15,26 +15,35 @@
 
 #include "scenarios/microbench.hh"
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("abl_miniport", argc, argv);
+
     std::printf("Ablation A7: kDSA driver stacking (mid-size "
                 "TPC-C + cached-read latency)\n\n");
     util::TextTable table({"extra layers", "tpmC(norm)",
                            "latency 8K (ms)", "kernel share%"});
 
     double base = 0;
+    const int lat_iters = reporter.quick() ? 12 : 60;
+    std::string last_metrics;
     for (const int layers : {0, 1, 2, 4}) {
         TpccRunConfig config;
         config.platform = Platform::MidSize;
         config.backend = Backend::Kdsa;
         config.window = sim::msecs(800);
         config.kdsa_extra_layers = layers;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         if (base == 0)
             base = result.oltp.tpmc;
@@ -43,22 +52,32 @@ main()
         rig_config.backend = Backend::Kdsa;
         rig_config.dsa.kdsa_extra_layers = layers;
         MicroRig rig(rig_config);
-        const auto latency = rig.measureLatency(8192, true, 60, true);
+        const auto latency =
+            rig.measureLatency(8192, true, lat_iters, true);
 
+        const double kernel_share =
+            result.oltp.cpu_breakdown[static_cast<size_t>(
+                osmodel::CpuCat::Kernel)] /
+            std::max(result.oltp.cpu_utilization, 1e-9) * 100;
         table.addRow(
             {util::TextTable::num(static_cast<int64_t>(layers)),
              util::TextTable::num(result.oltp.tpmc / base * 100, 1),
              util::TextTable::num(latency.mean_us / 1e3, 3),
-             util::TextTable::num(
-                 result.oltp.cpu_breakdown[static_cast<size_t>(
-                     osmodel::CpuCat::Kernel)] /
-                     std::max(result.oltp.cpu_utilization, 1e-9) *
-                     100,
-                 1)});
+             util::TextTable::num(kernel_share, 1)});
+        reporter.beginRow();
+        reporter.col("extra_layers", static_cast<int64_t>(layers));
+        reporter.col("tpmc_norm", result.oltp.tpmc / base * 100);
+        reporter.col("latency_8k_ms", latency.mean_us / 1e3);
+        reporter.col("kernel_share_pct", kernel_share);
+        last_metrics = result.metrics_json;
     }
     table.print();
     std::printf("\nshape: every stacked layer costs throughput and "
                 "latency — the paper's case for the thin monolithic "
                 "driver\n");
-    return 0;
+    reporter.note("shape", "every stacked layer costs throughput and "
+                           "latency — the paper's case for the thin "
+                           "monolithic driver");
+    reporter.attachMetricsJson(std::move(last_metrics));
+    return reporter.write() ? 0 : 1;
 }

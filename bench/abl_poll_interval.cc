@@ -11,44 +11,62 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("abl_poll_interval", argc, argv);
+
     std::printf("Ablation A3: cDSA poll interval (mid-size "
                 "TPC-C)\n\n");
     util::TextTable table({"interval(us)", "tpmC(norm)",
                            "DSA share%", "txn lat(ms)"});
 
     double base = 0;
+    std::string last_metrics;
     for (const int interval_us : {5, 10, 25, 50, 100, 250}) {
         TpccRunConfig config;
         config.platform = Platform::MidSize;
         config.backend = Backend::Cdsa;
         config.window = sim::msecs(800);
         config.poll_interval = sim::usecs(interval_us);
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         if (base == 0)
             base = result.oltp.tpmc;
+        const double dsa_share =
+            result.oltp.cpu_breakdown[static_cast<size_t>(
+                osmodel::CpuCat::Dsa)] /
+            std::max(result.oltp.cpu_utilization, 1e-9) * 100;
         table.addRow(
             {util::TextTable::num(
                  static_cast<int64_t>(interval_us)),
              util::TextTable::num(result.oltp.tpmc / base * 100, 1),
-             util::TextTable::num(
-                 result.oltp.cpu_breakdown[static_cast<size_t>(
-                     osmodel::CpuCat::Dsa)] /
-                     std::max(result.oltp.cpu_utilization, 1e-9) *
-                     100,
-                 1),
+             util::TextTable::num(dsa_share, 1),
              util::TextTable::num(
                  result.oltp.mean_txn_latency_us / 1e3, 1)});
+        reporter.beginRow();
+        reporter.col("interval_us",
+                     static_cast<int64_t>(interval_us));
+        reporter.col("tpmc_norm", result.oltp.tpmc / base * 100);
+        reporter.col("dsa_share_pct", dsa_share);
+        reporter.col("txn_lat_ms",
+                     result.oltp.mean_txn_latency_us / 1e3);
+        last_metrics = result.metrics_json;
     }
     table.print();
     std::printf("\nshape: very short intervals burn DSA CPU; very "
                 "long ones add detection latency\n");
-    return 0;
+    reporter.note("shape", "very short intervals burn DSA CPU; very "
+                           "long ones add detection latency");
+    reporter.attachMetricsJson(std::move(last_metrics));
+    return reporter.write() ? 0 : 1;
 }

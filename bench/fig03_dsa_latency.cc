@@ -11,14 +11,19 @@
 #include <cstdio>
 
 #include "scenarios/microbench.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig03", argc, argv);
+    const int vi_iters = reporter.quick() ? 10 : 60;
+    const int dsa_iters = reporter.quick() ? 12 : 80;
+
     std::printf("Figure 3: latency of raw VI and DSA "
                 "(ms, single outstanding cached read)\n\n");
 
@@ -28,7 +33,7 @@ main()
 
     std::vector<double> vi_ms;
     for (const uint64_t size : sizes)
-        vi_ms.push_back(rawViLatencyUs(size, 60) / 1e3);
+        vi_ms.push_back(rawViLatencyUs(size, vi_iters) / 1e3);
 
     struct Column
     {
@@ -38,14 +43,20 @@ main()
     std::vector<Column> columns = {{Backend::Kdsa, {}},
                                    {Backend::Wdsa, {}},
                                    {Backend::Cdsa, {}}};
-    for (Column &column : columns) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+        Column &column = columns[c];
         MicroRig::Config config;
         config.backend = column.backend;
         MicroRig rig(config);
         for (const uint64_t size : sizes) {
-            const auto r = rig.measureLatency(size, true, 80, true);
+            const auto r =
+                rig.measureLatency(size, true, dsa_iters, true);
             column.ms.push_back(r.mean_us / 1e3);
         }
+        // The artifact's "metrics" section: one full registry
+        // snapshot, taken from the last rig constructed.
+        if (c + 1 == columns.size())
+            reporter.attachMetricsJson(rig.sim().metrics().toJson());
     }
 
     for (size_t i = 0; i < std::size(sizes); ++i) {
@@ -56,10 +67,20 @@ main()
                       util::TextTable::num(columns[2].ms[i], 3),
                       util::TextTable::num(
                           (columns[0].ms[i] - vi_ms[i]) * 1e3, 1)});
+        reporter.beginRow();
+        reporter.col("size", static_cast<int64_t>(sizes[i]));
+        reporter.col("vi_ms", vi_ms[i]);
+        reporter.col("kdsa_ms", columns[0].ms[i]);
+        reporter.col("wdsa_ms", columns[1].ms[i]);
+        reporter.col("cdsa_ms", columns[2].ms[i]);
+        reporter.col("kdsa_minus_vi_us",
+                     (columns[0].ms[i] - vi_ms[i]) * 1e3);
     }
     table.print();
 
     std::printf("\npaper anchors: VI@8K ~0.09-0.13ms; DSA adds "
                 "15-50us; order cDSA < kDSA < wDSA\n");
-    return 0;
+    reporter.note("anchors", "VI@8K ~0.09-0.13ms; DSA adds 15-50us; "
+                             "order cDSA < kDSA < wDSA");
+    return reporter.write() ? 0 : 1;
 }

@@ -11,32 +11,58 @@
 #include <cstdio>
 
 #include "scenarios/microbench.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig05", argc, argv);
+    const sim::Tick window =
+        reporter.quick() ? sim::msecs(25) : sim::msecs(150);
+
     std::printf("Figure 5: V3 cached 8K read response time vs "
                 "outstanding I/Os (kDSA)\n\n");
-    util::TextTable table({"outstanding", "response(ms)", "MB/s"});
+    util::TextTable table({"outstanding", "response(ms)", "MB/s",
+                           "p95(ms)", "p99(ms)"});
 
     MicroRig::Config config;
     config.backend = Backend::Kdsa;
     MicroRig rig(config);
     for (const int outstanding : {1, 2, 4, 8, 16, 32}) {
-        const auto r = rig.measureThroughput(
-            8192, true, outstanding, sim::msecs(150), true);
+        const auto r = rig.measureThroughput(8192, true, outstanding,
+                                             window, true);
+        // Tail latency over the same window, from the DSA client's
+        // histogram, looked up by its registry path.
+        const sim::Histogram *hist = rig.sim().metrics().findHistogram(
+            "client.kdsa0.latency_hist_ns");
+        const double p95_ms =
+            hist ? hist->quantile(0.95) / 1e6 : 0.0;
+        const double p99_ms =
+            hist ? hist->quantile(0.99) / 1e6 : 0.0;
         table.addRow({util::TextTable::num(
                           static_cast<int64_t>(outstanding)),
                       util::TextTable::num(
                           r.mean_response_us / 1e3, 3),
-                      util::TextTable::num(r.mbps, 1)});
+                      util::TextTable::num(r.mbps, 1),
+                      util::TextTable::num(p95_ms, 3),
+                      util::TextTable::num(p99_ms, 3)});
+        reporter.beginRow();
+        reporter.col("outstanding",
+                     static_cast<int64_t>(outstanding));
+        reporter.col("response_ms", r.mean_response_us / 1e3);
+        reporter.col("mbps", r.mbps);
+        reporter.col("p95_ms", p95_ms);
+        reporter.col("p99_ms", p99_ms);
     }
     table.print();
     std::printf("\npaper anchors: slow growth below ~4 outstanding, "
                 "then linear (network queuing)\n");
-    return 0;
+    reporter.note("anchors", "slow growth below ~4 outstanding, then "
+                             "linear (network queuing)");
+    reporter.attachMetricsJson(rig.sim().metrics().toJson());
+    return reporter.write() ? 0 : 1;
 }

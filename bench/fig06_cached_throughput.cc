@@ -11,14 +11,19 @@
 #include <cstdio>
 
 #include "scenarios/microbench.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig06", argc, argv);
+    const sim::Tick window =
+        reporter.quick() ? sim::msecs(20) : sim::msecs(120);
+
     std::printf("Figure 6: V3 cached read throughput (MB/s), kDSA\n\n");
 
     const uint64_t sizes[] = {512,   2048,  8192,
@@ -38,10 +43,13 @@ main()
 
     for (const uint64_t size : sizes) {
         std::vector<std::string> row = {util::formatSize(size)};
+        reporter.beginRow();
+        reporter.col("size", static_cast<int64_t>(size));
         for (const int n : outstanding_counts) {
-            const auto r = rig.measureThroughput(
-                size, true, n, sim::msecs(120), true);
+            const auto r =
+                rig.measureThroughput(size, true, n, window, true);
             row.push_back(util::TextTable::num(r.mbps, 1));
+            reporter.col("mbps_" + std::to_string(n), r.mbps);
         }
         table.addRow(row);
     }
@@ -49,5 +57,9 @@ main()
     std::printf("\npaper anchors: ~90 MB/s @128K with 1 outstanding; "
                 "~110 MB/s ceiling; saturated at 8K with 4 "
                 "outstanding\n");
-    return 0;
+    reporter.note("anchors", "~90 MB/s @128K with 1 outstanding; "
+                             "~110 MB/s ceiling; saturated at 8K "
+                             "with 4 outstanding");
+    reporter.attachMetricsJson(rig.sim().metrics().toJson());
+    return reporter.write() ? 0 : 1;
 }

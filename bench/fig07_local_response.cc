@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "scenarios/microbench.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
@@ -21,11 +22,13 @@ namespace
 {
 
 void
-sweep(bool is_read, const char *label)
+sweep(util::BenchReporter &reporter, bool is_read, const char *label)
 {
+    const int iters = reporter.quick() ? 20 : 120;
     std::printf("\n(%s)\n", label);
-    util::TextTable table(
-        {"size", "V3(ms)", "Local(ms)", "V3 overhead"});
+    util::TextTable table({"size", "V3(ms)", "Local(ms)",
+                           "V3 overhead", "V3 p99(ms)",
+                           "Local p99(ms)"});
 
     MicroRig::Config v3_config;
     v3_config.backend = Backend::Kdsa;
@@ -38,30 +41,50 @@ sweep(bool is_read, const char *label)
 
     for (const uint64_t size :
          {512ull, 2048ull, 8192ull, 32768ull, 131072ull}) {
-        const auto rv = v3.measureLatency(size, is_read, 120, false);
+        const auto rv = v3.measureLatency(size, is_read, iters, false);
         const auto rl =
-            local.measureLatency(size, is_read, 120, false);
+            local.measureLatency(size, is_read, iters, false);
         char overhead[32];
         std::snprintf(overhead, sizeof(overhead), "%+.1f%%",
                       (rv.mean_us / rl.mean_us - 1) * 100);
         table.addRow({util::formatSize(size),
                       util::TextTable::num(rv.mean_us / 1e3, 2),
                       util::TextTable::num(rl.mean_us / 1e3, 2),
-                      overhead});
+                      overhead,
+                      util::TextTable::num(rv.p99_us / 1e3, 2),
+                      util::TextTable::num(rl.p99_us / 1e3, 2)});
+        reporter.beginRow();
+        reporter.col("op", std::string(is_read ? "read" : "write"));
+        reporter.col("size", static_cast<int64_t>(size));
+        reporter.col("v3_ms", rv.mean_us / 1e3);
+        reporter.col("local_ms", rl.mean_us / 1e3);
+        reporter.col("overhead_pct",
+                     (rv.mean_us / rl.mean_us - 1) * 100);
+        reporter.col("v3_p50_ms", rv.p50_us / 1e3);
+        reporter.col("v3_p95_ms", rv.p95_us / 1e3);
+        reporter.col("v3_p99_ms", rv.p99_us / 1e3);
+        reporter.col("local_p50_ms", rl.p50_us / 1e3);
+        reporter.col("local_p95_ms", rl.p95_us / 1e3);
+        reporter.col("local_p99_ms", rl.p99_us / 1e3);
     }
     table.print();
+    if (!is_read)
+        reporter.attachMetricsJson(v3.sim().metrics().toJson());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig07", argc, argv);
     std::printf("Figure 7: V3 vs local response time, cache off, "
                 "random, 1 outstanding\n");
-    sweep(true, "a: Read");
-    sweep(false, "b: Write");
+    sweep(reporter, true, "a: Read");
+    sweep(reporter, false, "b: Write");
     std::printf("\npaper anchors: <3%% overhead below 64K; ~10%% at "
                 "128K\n");
-    return 0;
+    reporter.note("anchors",
+                  "<3% overhead below 64K; ~10% at 128K");
+    return reporter.write() ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "scenarios/microbench.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
@@ -20,8 +21,11 @@ namespace
 {
 
 void
-sweep(bool is_read, int outstanding, const char *label)
+sweep(util::BenchReporter &reporter, bool is_read, int outstanding,
+      const char *label, bool attach_metrics)
 {
+    const sim::Tick window =
+        reporter.quick() ? sim::msecs(40) : sim::msecs(400);
     std::printf("\n(%s, %d outstanding)\n", label, outstanding);
     util::TextTable table({"size", "V3(MB/s)", "Local(MB/s)"});
 
@@ -36,29 +40,45 @@ sweep(bool is_read, int outstanding, const char *label)
 
     for (const uint64_t size :
          {512ull, 2048ull, 8192ull, 32768ull, 131072ull}) {
-        const auto rv = v3.measureThroughput(
-            size, is_read, outstanding, sim::msecs(400), false);
-        const auto rl = local.measureThroughput(
-            size, is_read, outstanding, sim::msecs(400), false);
+        const auto rv = v3.measureThroughput(size, is_read,
+                                             outstanding, window,
+                                             false);
+        const auto rl = local.measureThroughput(size, is_read,
+                                                outstanding, window,
+                                                false);
         table.addRow({util::formatSize(size),
                       util::TextTable::num(rv.mbps, 2),
                       util::TextTable::num(rl.mbps, 2)});
+        reporter.beginRow();
+        reporter.col("op", std::string(is_read ? "read" : "write"));
+        reporter.col("outstanding",
+                     static_cast<int64_t>(outstanding));
+        reporter.col("size", static_cast<int64_t>(size));
+        reporter.col("v3_mbps", rv.mbps);
+        reporter.col("local_mbps", rl.mbps);
     }
     table.print();
+    if (attach_metrics)
+        reporter.attachMetricsJson(v3.sim().metrics().toJson());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig08", argc, argv);
     std::printf("Figure 8: V3 vs local throughput, cache off, "
                 "random\n");
-    sweep(true, 2, "a: Read");
-    sweep(false, 2, "b: Write, two outstanding");
-    sweep(false, 8, "b': Write, eight outstanding (paper: V3 "
-                    "matches local at eight)");
+    sweep(reporter, true, 2, "a: Read", false);
+    sweep(reporter, false, 2, "b: Write, two outstanding", false);
+    sweep(reporter, false, 8,
+          "b': Write, eight outstanding (paper: V3 matches local at "
+          "eight)",
+          true);
     std::printf("\npaper anchors: V3 read throughput ~= local at two "
                 "outstanding; writes match at eight\n");
-    return 0;
+    reporter.note("anchors", "V3 read throughput ~= local at two "
+                             "outstanding; writes match at eight");
+    return reporter.write() ? 0 : 1;
 }

@@ -13,14 +13,17 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig09", argc, argv);
+
     std::printf("Figure 9: optimization stack vs tpmC, large "
                 "configuration (normalized to unoptimized)\n\n");
 
@@ -38,8 +41,11 @@ main()
 
     util::TextTable table({"optimizations", "kDSA", "cDSA"});
     double base[2] = {0, 0};
+    std::string last_metrics;
     for (const Step &step : steps) {
         std::vector<std::string> row = {step.label};
+        reporter.beginRow();
+        reporter.col("optimizations", std::string(step.label));
         int column = 0;
         for (const Backend backend :
              {Backend::Kdsa, Backend::Cdsa}) {
@@ -47,11 +53,20 @@ main()
             config.platform = Platform::Large;
             config.backend = backend;
             config.opts = step.opts;
+            if (reporter.quick()) {
+                config.warmup = sim::msecs(60);
+                config.window = sim::msecs(250);
+            }
             const TpccRunResult result = runTpcc(config);
             if (base[column] == 0)
                 base[column] = result.oltp.tpmc;
             row.push_back(util::TextTable::num(
                 result.oltp.tpmc / base[column] * 100, 1));
+            const char *key =
+                backend == Backend::Kdsa ? "kdsa_norm" : "cdsa_norm";
+            reporter.col(key,
+                         result.oltp.tpmc / base[column] * 100);
+            last_metrics = result.metrics_json;
             ++column;
         }
         table.addRow(row);
@@ -59,5 +74,8 @@ main()
     table.print();
     std::printf("\npaper anchors (cumulative): dereg +15/+10%%; "
                 "intrpt +7/+14%%; sync +12/+24%%\n");
-    return 0;
+    reporter.note("anchors", "cumulative: dereg +15/+10%; intrpt "
+                             "+7/+14%; sync +12/+24%");
+    reporter.attachMetricsJson(std::move(last_metrics));
+    return reporter.write() ? 0 : 1;
 }

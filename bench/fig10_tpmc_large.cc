@@ -11,14 +11,17 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig10", argc, argv);
+
     std::printf("Figure 10: normalized TPC-C transaction rate, "
                 "large configuration\n\n");
     util::TextTable table({"backend", "tpmC(norm)", "cpu%", "hit%",
@@ -30,9 +33,16 @@ main()
         TpccRunConfig config;
         config.platform = Platform::Large;
         config.backend = backend;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         if (backend == Backend::Local)
             local = result.oltp.tpmc;
+        const double intr_per_sec =
+            static_cast<double>(result.host_interrupts) /
+            sim::toSecs(config.window + config.warmup);
         table.addRow(
             {backendName(backend),
              util::TextTable::num(result.oltp.tpmc / local * 100, 1),
@@ -41,12 +51,22 @@ main()
              util::TextTable::num(result.server_cache_hit * 100, 1),
              util::TextTable::num(result.disk_utilization * 100, 1),
              util::TextTable::num(
-                 static_cast<int64_t>(
-                     static_cast<double>(result.host_interrupts) /
-                     sim::toSecs(config.window + config.warmup)))});
+                 static_cast<int64_t>(intr_per_sec))});
+        reporter.beginRow();
+        reporter.col("backend", std::string(backendName(backend)));
+        reporter.col("tpmc_norm", result.oltp.tpmc / local * 100);
+        reporter.col("tpmc", result.oltp.tpmc);
+        reporter.col("cpu_pct", result.oltp.cpu_utilization * 100);
+        reporter.col("hit_pct", result.server_cache_hit * 100);
+        reporter.col("disk_pct", result.disk_utilization * 100);
+        reporter.col("intr_per_sec", intr_per_sec);
+        if (backend == Backend::Cdsa)
+            reporter.attachMetricsJson(result.metrics_json);
     }
     table.print();
     std::printf("\npaper anchors: local=100; kDSA ~100; wDSA ~78 "
                 "(22%% below kDSA); cDSA ~118\n");
-    return 0;
+    reporter.note("anchors", "local=100; kDSA ~100; wDSA ~78 (22% "
+                             "below kDSA); cDSA ~118");
+    return reporter.write() ? 0 : 1;
 }

@@ -14,14 +14,17 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig13", argc, argv);
+
     std::printf("Figure 13: normalized TPC-C rate vs disk count, "
                 "mid-size configuration\n\n");
 
@@ -34,6 +37,10 @@ main()
         config.platform = Platform::MidSize;
         config.backend = Backend::Local;
         config.local_disks = disks;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         curve.emplace_back(disks, result.oltp.tpmc);
         if (disks == 176)
@@ -43,6 +50,10 @@ main()
         local_table.addRow(
             {util::TextTable::num(static_cast<int64_t>(disks)),
              util::TextTable::num(tpmc / local176 * 100, 1)});
+        reporter.beginRow();
+        reporter.col("series", std::string("local"));
+        reporter.col("local_disks", static_cast<int64_t>(disks));
+        reporter.col("tpmc_norm", tpmc / local176 * 100);
     }
     local_table.print();
 
@@ -54,6 +65,10 @@ main()
         TpccRunConfig config;
         config.platform = Platform::MidSize;
         config.backend = backend;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         v3_table.addRow(
             {backendName(backend),
@@ -62,9 +77,21 @@ main()
              util::TextTable::num(result.server_cache_hit * 100, 1),
              util::TextTable::num(result.disk_utilization * 100,
                                   1)});
+        reporter.beginRow();
+        reporter.col("series", std::string("v3"));
+        reporter.col("backend", std::string(backendName(backend)));
+        reporter.col("tpmc_norm",
+                     result.oltp.tpmc / local176 * 100);
+        reporter.col("cache_hit_pct", result.server_cache_hit * 100);
+        reporter.col("disk_util_pct",
+                     result.disk_utilization * 100);
+        if (backend == Backend::Cdsa)
+            reporter.attachMetricsJson(result.metrics_json);
     }
     v3_table.print();
     std::printf("\npaper anchors: kDSA ~98, wDSA ~90, cDSA ~103 (of "
                 "local@176); hit ratio 40-45%%\n");
-    return 0;
+    reporter.note("anchors", "kDSA ~98, wDSA ~90, cDSA ~103 (of "
+                             "local@176); hit ratio 40-45%");
+    return reporter.write() ? 0 : 1;
 }

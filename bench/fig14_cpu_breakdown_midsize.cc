@@ -11,39 +11,57 @@
 #include <cstdio>
 
 #include "scenarios/tpcc_run.hh"
+#include "util/bench_reporter.hh"
 #include "util/table.hh"
 
 using namespace v3sim;
 using namespace v3sim::scenarios;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::BenchReporter reporter("fig14", argc, argv);
+
     std::printf("Figure 14: CPU utilization breakdown, TPC-C "
                 "mid-size configuration (%% of busy CPU)\n\n");
     util::TextTable table({"backend", "SQL", "OS Kernel", "Lock",
                            "DSA", "VI", "Other", "busy%"});
+
+    const char *cat_keys[] = {"sql_pct",  "kernel_pct", "lock_pct",
+                              "dsa_pct",  "vi_pct",     "other_pct"};
 
     for (const Backend backend :
          {Backend::Kdsa, Backend::Wdsa, Backend::Cdsa}) {
         TpccRunConfig config;
         config.platform = Platform::MidSize;
         config.backend = backend;
+        if (reporter.quick()) {
+            config.warmup = sim::msecs(60);
+            config.window = sim::msecs(250);
+        }
         const TpccRunResult result = runTpcc(config);
         std::vector<std::string> row = {backendName(backend)};
+        reporter.beginRow();
+        reporter.col("backend", std::string(backendName(backend)));
         for (size_t c = 0; c < osmodel::kCpuCatCount; ++c) {
-            row.push_back(util::TextTable::num(
+            const double share =
                 result.oltp.cpu_breakdown[c] /
-                    std::max(result.oltp.cpu_utilization, 1e-9) *
-                    100,
-                1));
+                std::max(result.oltp.cpu_utilization, 1e-9) * 100;
+            row.push_back(util::TextTable::num(share, 1));
+            reporter.col(cat_keys[c], share);
         }
         row.push_back(util::TextTable::num(
             result.oltp.cpu_utilization * 100, 1));
+        reporter.col("busy_pct", result.oltp.cpu_utilization * 100);
         table.addRow(row);
+        if (backend == Backend::Cdsa)
+            reporter.attachMetricsJson(result.metrics_json);
     }
     table.print();
     std::printf("\npaper anchors: cDSA SQL ~60%%; kernel+lock less "
                 "pronounced than the large configuration\n");
-    return 0;
+    reporter.note("anchors", "cDSA SQL ~60%; kernel+lock less "
+                             "pronounced than the large "
+                             "configuration");
+    return reporter.write() ? 0 : 1;
 }

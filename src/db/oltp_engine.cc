@@ -11,7 +11,15 @@ OltpEngine::OltpEngine(osmodel::Node &node, dsa::BlockDevice &device,
     : node_(node),
       device_(device),
       workload_(workload),
-      config_(config)
+      config_(config),
+      metric_prefix_(node.sim().metrics().uniquePrefix("db.oltp")),
+      committed_(
+          node.sim().metrics().counter(metric_prefix_ + ".committed")),
+      new_orders_(node.sim().metrics().counter(metric_prefix_ +
+                                               ".new_orders")),
+      ios_(node.sim().metrics().counter(metric_prefix_ + ".ios")),
+      txn_latency_(node.sim().metrics().sampler(
+          metric_prefix_ + ".txn_latency_ns"))
 {
     // One page buffer per worker, from AWE so buffers are pinned
     // physical memory the way SQL Server's cache is (section 3.1).

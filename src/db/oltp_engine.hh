@@ -156,10 +156,14 @@ class OltpEngine
     uint64_t log_offset_ = 0;
     uint64_t commits_since_flush_ = 0;
 
-    sim::Counter committed_;
-    sim::Counter new_orders_;
-    sim::Counter ios_;
-    sim::Sampler txn_latency_;
+    /// Registry path prefix ("db.oltp", uniquified); must precede
+    /// the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    sim::Counter &committed_;
+    sim::Counter &new_orders_;
+    sim::Counter &ios_;
+    sim::Sampler &txn_latency_;
 };
 
 } // namespace v3sim::db

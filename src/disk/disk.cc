@@ -52,9 +52,25 @@ Disk::Disk(sim::Simulation &sim, DiskSpec spec, sim::Rng rng,
       rng_(rng),
       name_(std::move(name)),
       policy_(policy),
-      store_(phantom_store)
+      store_(phantom_store),
+      metric_prefix_(sim.metrics().uniquePrefix("disk." + name_)),
+      completed_(sim.metrics().counter(metric_prefix_ + ".completed")),
+      service_stats_(
+          sim.metrics().sampler(metric_prefix_ + ".service_ns")),
+      latency_stats_(
+          sim.metrics().sampler(metric_prefix_ + ".latency_ns"))
 {
     busy_integral_.reset(sim_.now(), 0.0);
+    sim.metrics().gauge(metric_prefix_ + ".utilization",
+                        [this] { return utilization(); });
+    sim.metrics().gauge(metric_prefix_ + ".queue_depth", [this] {
+        return static_cast<double>(queue_.size());
+    });
+    // The busy integral restarts at the current busy state, not zero:
+    // a command in flight at the epoch boundary keeps accruing.
+    sim.metrics().onEpochReset([this](sim::Tick at) {
+        busy_integral_.reset(at, busy_ ? 1.0 : 0.0);
+    });
 }
 
 void

@@ -138,9 +138,13 @@ class Disk
     bool busy_ = false;
     uint64_t head_pos_ = 0; ///< byte offset of the head
 
-    sim::Counter completed_;
-    sim::Sampler service_stats_; ///< mechanism time per command (ns)
-    sim::Sampler latency_stats_; ///< queue wait + service (ns)
+    /// Registry path prefix ("disk.<name>", uniquified); must precede
+    /// the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    sim::Counter &completed_;
+    sim::Sampler &service_stats_; ///< mechanism time per command (ns)
+    sim::Sampler &latency_stats_; ///< queue wait + service (ns)
     sim::TimeWeighted busy_integral_;
 };
 

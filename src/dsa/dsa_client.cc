@@ -22,6 +22,24 @@ dsaImplName(DsaImpl impl)
     return "?";
 }
 
+namespace
+{
+
+/** Registry path segment: lowercase impl + volume, e.g. "cdsa0". */
+std::string
+clientPathSegment(DsaImpl impl, uint32_t volume)
+{
+    const char *impl_path = "?";
+    switch (impl) {
+      case DsaImpl::Kdsa: impl_path = "kdsa"; break;
+      case DsaImpl::Wdsa: impl_path = "wdsa"; break;
+      case DsaImpl::Cdsa: impl_path = "cdsa"; break;
+    }
+    return std::string("client.") + impl_path + std::to_string(volume);
+}
+
+} // namespace
+
 DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
                      net::PortId server_port, uint32_t volume,
                      DsaConfig config)
@@ -34,7 +52,22 @@ DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
       own_lock_(node.sim(), node.costs(),
                 std::string(dsaImplName(impl)) + ".lock"),
       vi_send_lock_(node.sim(), node.costs(), "vi.send"),
-      vi_recv_lock_(node.sim(), node.costs(), "vi.recv")
+      vi_recv_lock_(node.sim(), node.costs(), "vi.recv"),
+      metric_prefix_(node.sim().metrics().uniquePrefix(
+          clientPathSegment(impl, volume))),
+      ios_(node.sim().metrics().counter(metric_prefix_ + ".ios")),
+      retransmits_(node.sim().metrics().counter(metric_prefix_ +
+                                                ".retransmits")),
+      reconnects_(node.sim().metrics().counter(metric_prefix_ +
+                                               ".reconnects")),
+      intr_completions_(node.sim().metrics().counter(
+          metric_prefix_ + ".intr_completions")),
+      polled_completions_(node.sim().metrics().counter(
+          metric_prefix_ + ".polled_completions")),
+      latency_(node.sim().metrics().sampler(metric_prefix_ +
+                                            ".latency_ns")),
+      latency_hist_(node.sim().metrics().histogram(metric_prefix_ +
+                                                   ".latency_hist_ns"))
 {
     // wDSA cannot apply the section-3 optimizations: it is bound to
     // exact Win32 semantics (section 3: "opportunities for
@@ -384,7 +417,10 @@ DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
     }
     credits_->release();
     ios_.increment();
-    latency_.add(static_cast<double>(node_.sim().now() - io.issued_at));
+    const double lat =
+        static_cast<double>(node_.sim().now() - io.issued_at);
+    latency_.add(lat);
+    latency_hist_.add(lat);
     co_return ok;
 }
 
@@ -887,6 +923,7 @@ DsaClient::resetStats()
     intr_completions_.reset();
     polled_completions_.reset();
     latency_.reset();
+    latency_hist_.reset();
 }
 
 } // namespace v3sim::dsa

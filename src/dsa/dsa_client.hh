@@ -139,6 +139,11 @@ class DsaClient : public BlockDevice
     }
     /** End-to-end I/O latency (ns). */
     const sim::Sampler &latency() const { return latency_; }
+    /** End-to-end I/O latency distribution (ns), for p50/p95/p99. */
+    const sim::Histogram &latencyHistogram() const
+    {
+        return latency_hist_;
+    }
     const RegCache &regCache() const { return *reg_cache_; }
     void resetStats();
     /** @} */
@@ -276,12 +281,17 @@ class DsaClient : public BlockDevice
     sim::Completion<bool> *connect_waiter_ = nullptr;
     sim::Completion<bool> *hello_waiter_ = nullptr;
 
-    sim::Counter ios_;
-    sim::Counter retransmits_;
-    sim::Counter reconnects_;
-    sim::Counter intr_completions_;
-    sim::Counter polled_completions_;
-    sim::Sampler latency_;
+    /// Registry path prefix ("client.<impl><volume>", uniquified);
+    /// must precede the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    sim::Counter &ios_;
+    sim::Counter &retransmits_;
+    sim::Counter &reconnects_;
+    sim::Counter &intr_completions_;
+    sim::Counter &polled_completions_;
+    sim::Sampler &latency_;
+    sim::Histogram &latency_hist_;
 };
 
 } // namespace v3sim::dsa

@@ -8,7 +8,15 @@ using osmodel::CpuLease;
 
 LocalBackend::LocalBackend(osmodel::Node &node, disk::Volume &volume,
                            HbaCosts costs)
-    : node_(node), volume_(volume), costs_(costs)
+    : node_(node), volume_(volume), costs_(costs),
+      metric_prefix_(node.sim().metrics().uniquePrefix("client.local")),
+      ios_(node.sim().metrics().counter(metric_prefix_ + ".ios")),
+      interrupts_(node.sim().metrics().counter(metric_prefix_ +
+                                               ".interrupts")),
+      latency_(node.sim().metrics().sampler(metric_prefix_ +
+                                            ".latency_ns")),
+      latency_hist_(node.sim().metrics().histogram(
+          metric_prefix_ + ".latency_hist_ns"))
 {}
 
 sim::Task<bool>
@@ -55,7 +63,10 @@ LocalBackend::submit(bool is_write, uint64_t offset, uint64_t len,
 
     const bool ok = co_await completion.wait();
     ios_.increment();
-    latency_.add(static_cast<double>(node_.sim().now() - start));
+    const double lat =
+        static_cast<double>(node_.sim().now() - start);
+    latency_.add(lat);
+    latency_hist_.add(lat);
     co_return ok;
 }
 
@@ -98,6 +109,7 @@ LocalBackend::resetStats()
     ios_.reset();
     interrupts_.reset();
     latency_.reset();
+    latency_hist_.reset();
 }
 
 } // namespace v3sim::dsa

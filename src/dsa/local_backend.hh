@@ -64,6 +64,11 @@ class LocalBackend : public BlockDevice
     uint64_t ioCount() const { return ios_.value(); }
     uint64_t interruptCount() const { return interrupts_.value(); }
     const sim::Sampler &latency() const { return latency_; }
+    /** End-to-end I/O latency distribution (ns), for p50/p95/p99. */
+    const sim::Histogram &latencyHistogram() const
+    {
+        return latency_hist_;
+    }
     void resetStats();
 
   private:
@@ -89,9 +94,14 @@ class LocalBackend : public BlockDevice
     std::deque<Done> done_queue_;
     bool interrupt_pending_ = false;
 
-    sim::Counter ios_;
-    sim::Counter interrupts_;
-    sim::Sampler latency_;
+    /// Registry path prefix ("client.local", uniquified); must
+    /// precede the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    sim::Counter &ios_;
+    sim::Counter &interrupts_;
+    sim::Sampler &latency_;
+    sim::Histogram &latency_hist_;
 };
 
 } // namespace v3sim::dsa

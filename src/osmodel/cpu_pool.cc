@@ -23,6 +23,22 @@ CpuPool::CpuPool(sim::Simulation &sim, int cpus, std::string name)
     : sim_(sim), cpus_(cpus), name_(std::move(name))
 {
     assert(cpus >= 1);
+
+    auto &m = sim.metrics();
+    const std::string prefix =
+        m.uniquePrefix("cpu." + (name_.empty() ? "pool" : name_));
+    m.gauge(prefix + ".utilization", [this] { return utilization(); });
+    static constexpr const char *kCatPath[kCpuCatCount] = {
+        "sql", "kernel", "lock", "dsa", "vi", "other",
+    };
+    for (size_t c = 0; c < kCpuCatCount; ++c) {
+        m.gauge(prefix + ".category." + kCatPath[c], [this, c] {
+            return utilization(static_cast<CpuCat>(c));
+        });
+    }
+    // The busy-time window restarts with the registry epoch so the
+    // utilization gauges describe the current measurement window.
+    m.onEpochReset([this](sim::Tick) { resetStats(); });
 }
 
 void

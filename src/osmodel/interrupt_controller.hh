@@ -38,7 +38,12 @@ class InterruptController
 
     InterruptController(sim::Simulation &sim, CpuPool &cpus,
                         const HostCosts &costs)
-        : sim_(sim), cpus_(cpus), costs_(costs)
+        : sim_(sim), cpus_(cpus), costs_(costs),
+          raised_(sim.metrics().counter(
+              sim.metrics().uniquePrefix(
+                  "intr." + (cpus.name().empty() ? "host"
+                                                 : cpus.name())) +
+              ".raised"))
     {}
 
     InterruptController(const InterruptController &) = delete;
@@ -72,7 +77,7 @@ class InterruptController
     sim::Simulation &sim_;
     CpuPool &cpus_;
     const HostCosts &costs_;
-    sim::Counter raised_;
+    sim::Counter &raised_; ///< registry-owned: "intr.<cpus>.raised"
 };
 
 } // namespace v3sim::osmodel

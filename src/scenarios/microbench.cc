@@ -97,6 +97,20 @@ MicroRig::measureLatency(uint64_t size, bool is_read, int iterations,
         iterations;
     if (server() && server()->serverTime().count() > 0)
         result.server_us = server()->serverTime().mean() / 1e3;
+
+    // Tail latency from the client-side histogram (DSA client for
+    // V3 backends, the HBA path for Local).
+    const sim::Histogram *hist = nullptr;
+    if (testbed_->local()) {
+        hist = &testbed_->local()->latencyHistogram();
+    } else if (!testbed_->clients().empty()) {
+        hist = &testbed_->clients().front()->latencyHistogram();
+    }
+    if (hist && hist->count() > 0) {
+        result.p50_us = hist->quantile(0.50) / 1e3;
+        result.p95_us = hist->quantile(0.95) / 1e3;
+        result.p99_us = hist->quantile(0.99) / 1e3;
+    }
     return result;
 }
 

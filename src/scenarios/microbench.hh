@@ -69,6 +69,12 @@ class MicroRig
         double mean_us = 0;         ///< end-to-end response time
         double cpu_overhead_us = 0; ///< host CPU busy per I/O
         double server_us = 0;       ///< V3-server-resident time
+        /** Client-observed tail latency (log2-bucket histogram on
+         *  the DSA client / local HBA path). @{ */
+        double p50_us = 0;
+        double p95_us = 0;
+        double p99_us = 0;
+        /** @} */
         /** mean - cpu - server: wire, NIC, and DMA time. */
         double
         wireUs() const

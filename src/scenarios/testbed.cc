@@ -223,15 +223,10 @@ Testbed::hostInterrupts() const
 void
 Testbed::resetStats()
 {
-    host_->cpus().resetStats();
-    for (auto &client : clients_)
-        client->resetStats();
-    for (auto &server : servers_)
-        server->resetStats();
-    for (auto &d : local_disks_)
-        d->resetStats();
-    if (local_)
-        local_->resetStats();
+    // One registry-wide epoch replaces the old per-component
+    // resetStats() fan-out: every registered metric (clients,
+    // servers, caches, disks, NICs, CPU pools) restarts here.
+    sim_.metrics().resetEpoch();
 }
 
 } // namespace v3sim::scenarios

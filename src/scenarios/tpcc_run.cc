@@ -150,6 +150,7 @@ runTpcc(const TpccRunConfig &config)
     result.host_interrupts = testbed.hostInterrupts();
     for (auto &client : testbed.clients())
         result.retransmits += client->retransmitCount();
+    result.metrics_json = testbed.sim().metrics().toJson();
     return result;
 }
 

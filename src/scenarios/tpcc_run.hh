@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "db/oltp_engine.hh"
 #include "scenarios/testbed.hh"
@@ -61,6 +62,9 @@ struct TpccRunResult
     double disk_utilization = 0;
     uint64_t host_interrupts = 0;
     uint64_t retransmits = 0;
+    /** Full MetricRegistry snapshot (JSON), rendered before the
+     *  testbed is torn down; benches attach it to their artifact. */
+    std::string metrics_json;
 };
 
 /** Platform-default workload parameters (warehouses, skew, demand),

@@ -1,0 +1,310 @@
+#include "metrics.hh"
+
+#include <stdexcept>
+
+#include "util/json.hh"
+
+namespace v3sim::sim
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Sampler: return "sampler";
+      case MetricKind::Histogram: return "histogram";
+      case MetricKind::TimeWeighted: return "timeweighted";
+      case MetricKind::Gauge: return "gauge";
+    }
+    return "?";
+}
+
+MetricRegistry::MetricRegistry(NowFn now) : now_(std::move(now)) {}
+
+void
+MetricRegistry::checkNewPath(const std::string &path) const
+{
+    if (path.empty())
+        throw std::invalid_argument("metric path must not be empty");
+    if (metrics_.count(path)) {
+        throw std::invalid_argument("duplicate metric path: " +
+                                    path);
+    }
+}
+
+Counter &
+MetricRegistry::counter(const std::string &path)
+{
+    checkNewPath(path);
+    auto owned = std::make_unique<Counter>();
+    Counter &ref = *owned;
+    metrics_.emplace(path, std::move(owned));
+    return ref;
+}
+
+Sampler &
+MetricRegistry::sampler(const std::string &path)
+{
+    checkNewPath(path);
+    auto owned = std::make_unique<Sampler>();
+    Sampler &ref = *owned;
+    metrics_.emplace(path, std::move(owned));
+    return ref;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &path)
+{
+    checkNewPath(path);
+    auto owned = std::make_unique<Histogram>();
+    Histogram &ref = *owned;
+    metrics_.emplace(path, std::move(owned));
+    return ref;
+}
+
+TimeWeighted &
+MetricRegistry::timeWeighted(const std::string &path)
+{
+    checkNewPath(path);
+    auto owned = std::make_unique<TimeWeighted>();
+    owned->reset(now(), 0.0);
+    TimeWeighted &ref = *owned;
+    metrics_.emplace(path, std::move(owned));
+    return ref;
+}
+
+void
+MetricRegistry::gauge(const std::string &path,
+                      std::function<double()> fn)
+{
+    checkNewPath(path);
+    if (!fn)
+        throw std::invalid_argument("gauge callback must be set");
+    metrics_.emplace(path, std::move(fn));
+}
+
+void
+MetricRegistry::onEpochReset(std::function<void(Tick)> hook)
+{
+    if (hook)
+        hooks_.push_back(std::move(hook));
+}
+
+std::string
+MetricRegistry::uniquePrefix(const std::string &base)
+{
+    const uint32_t uses = ++prefix_uses_[base];
+    if (uses == 1)
+        return base;
+    return base + "#" + std::to_string(uses);
+}
+
+bool
+MetricRegistry::contains(const std::string &path) const
+{
+    return metrics_.count(path) != 0;
+}
+
+const Counter *
+MetricRegistry::findCounter(const std::string &path) const
+{
+    const auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return nullptr;
+    const auto *owned =
+        std::get_if<std::unique_ptr<Counter>>(&it->second);
+    return owned ? owned->get() : nullptr;
+}
+
+const Sampler *
+MetricRegistry::findSampler(const std::string &path) const
+{
+    const auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return nullptr;
+    const auto *owned =
+        std::get_if<std::unique_ptr<Sampler>>(&it->second);
+    return owned ? owned->get() : nullptr;
+}
+
+const Histogram *
+MetricRegistry::findHistogram(const std::string &path) const
+{
+    const auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return nullptr;
+    const auto *owned =
+        std::get_if<std::unique_ptr<Histogram>>(&it->second);
+    return owned ? owned->get() : nullptr;
+}
+
+const TimeWeighted *
+MetricRegistry::findTimeWeighted(const std::string &path) const
+{
+    const auto it = metrics_.find(path);
+    if (it == metrics_.end())
+        return nullptr;
+    const auto *owned =
+        std::get_if<std::unique_ptr<TimeWeighted>>(&it->second);
+    return owned ? owned->get() : nullptr;
+}
+
+void
+MetricRegistry::resetEpoch()
+{
+    const Tick at = now();
+    for (auto &[path, stored] : metrics_) {
+        std::visit(
+            [at](auto &metric) {
+                using T = std::decay_t<decltype(metric)>;
+                if constexpr (std::is_same_v<
+                                  T, std::unique_ptr<Counter>> ||
+                              std::is_same_v<
+                                  T, std::unique_ptr<Sampler>> ||
+                              std::is_same_v<
+                                  T, std::unique_ptr<Histogram>>) {
+                    metric->reset();
+                } else if constexpr (std::is_same_v<
+                                         T, std::unique_ptr<
+                                                TimeWeighted>>) {
+                    metric->reset(at, metric->current());
+                }
+                // Gauges are derived; nothing to reset.
+            },
+            stored);
+    }
+    for (const auto &hook : hooks_)
+        hook(at);
+    epoch_start_ = at;
+}
+
+MetricRegistry::Snapshot
+MetricRegistry::snapshot() const
+{
+    const Tick at = now();
+    Snapshot snap;
+    for (const auto &[path, stored] : metrics_) {
+        Value v;
+        std::visit(
+            [&v, at](const auto &metric) {
+                using T = std::decay_t<decltype(metric)>;
+                if constexpr (std::is_same_v<
+                                  T, std::unique_ptr<Counter>>) {
+                    v.kind = MetricKind::Counter;
+                    v.count = metric->value();
+                } else if constexpr (std::is_same_v<
+                                         T,
+                                         std::unique_ptr<Sampler>>) {
+                    v.kind = MetricKind::Sampler;
+                    v.count = metric->count();
+                    v.sum = metric->sum();
+                    v.mean = metric->mean();
+                    v.min = metric->min();
+                    v.max = metric->max();
+                    v.stddev = metric->stddev();
+                } else if constexpr (std::is_same_v<
+                                         T, std::unique_ptr<
+                                                Histogram>>) {
+                    v.kind = MetricKind::Histogram;
+                    v.count = metric->count();
+                    v.p50 = metric->quantile(0.50);
+                    v.p95 = metric->quantile(0.95);
+                    v.p99 = metric->quantile(0.99);
+                } else if constexpr (std::is_same_v<
+                                         T, std::unique_ptr<
+                                                TimeWeighted>>) {
+                    v.kind = MetricKind::TimeWeighted;
+                    v.value = metric->current();
+                    v.average = metric->average(at);
+                } else {
+                    v.kind = MetricKind::Gauge;
+                    v.value = metric();
+                }
+            },
+            stored);
+        snap.emplace(path, v);
+    }
+    return snap;
+}
+
+MetricRegistry::Snapshot
+MetricRegistry::delta(const Snapshot &before, const Snapshot &after)
+{
+    Snapshot out;
+    for (const auto &[path, a] : after) {
+        Value v = a;
+        const auto it = before.find(path);
+        if (it != before.end() && it->second.kind == a.kind) {
+            const Value &b = it->second;
+            switch (a.kind) {
+              case MetricKind::Counter:
+                v.count = a.count - b.count;
+                break;
+              case MetricKind::Sampler:
+                v.count = a.count - b.count;
+                v.sum = a.sum - b.sum;
+                v.mean = v.count
+                             ? v.sum / static_cast<double>(v.count)
+                             : 0.0;
+                break;
+              case MetricKind::Histogram:
+                v.count = a.count - b.count;
+                break;
+              case MetricKind::TimeWeighted:
+              case MetricKind::Gauge:
+                break; // point-in-time readings: keep `after`
+            }
+        }
+        out.emplace(path, v);
+    }
+    return out;
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    return toJson(snapshot());
+}
+
+std::string
+MetricRegistry::toJson(const Snapshot &snap)
+{
+    util::JsonWriter w;
+    w.beginObject();
+    for (const auto &[path, v] : snap) {
+        w.key(path).beginObject();
+        w.key("kind").value(metricKindName(v.kind));
+        switch (v.kind) {
+          case MetricKind::Counter:
+            w.key("count").value(v.count);
+            break;
+          case MetricKind::Sampler:
+            w.key("count").value(v.count);
+            w.key("sum").value(v.sum);
+            w.key("mean").value(v.mean);
+            w.key("min").value(v.min);
+            w.key("max").value(v.max);
+            w.key("stddev").value(v.stddev);
+            break;
+          case MetricKind::Histogram:
+            w.key("count").value(v.count);
+            w.key("p50").value(v.p50);
+            w.key("p95").value(v.p95);
+            w.key("p99").value(v.p99);
+            break;
+          case MetricKind::TimeWeighted:
+            w.key("value").value(v.value);
+            w.key("average").value(v.average);
+            break;
+          case MetricKind::Gauge:
+            w.key("value").value(v.value);
+            break;
+        }
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+} // namespace v3sim::sim

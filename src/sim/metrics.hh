@@ -1,0 +1,181 @@
+/**
+ * @file
+ * MetricRegistry: one observability spine for the whole simulator.
+ *
+ * Every instrumented component registers its statistics here under a
+ * dotted path (`client.cdsa.ios`, `server.v3.0.cache.hits`,
+ * `nic.db.nic0.mem_registry.pinned_bytes`, `cpu.db.cpu.category.lock`)
+ * instead of hoarding private Counter/Sampler members behind bespoke
+ * accessors. One Simulation owns one registry, so:
+ *
+ *  - benches and tests can snapshot *everything* a run observed and
+ *    export it (util::JsonWriter renders the snapshot as the
+ *    BENCH_*.json perf artifacts);
+ *  - one resetEpoch() call replaces the old per-class resetStats()
+ *    fan-out when a harness wants warmup-free measurement windows;
+ *  - future sharding/batching/caching work can measure itself against
+ *    a uniform, queryable surface.
+ *
+ * Two registration styles:
+ *  - owned metrics: counter()/sampler()/histogram()/timeWeighted()
+ *    allocate the metric inside the registry and return a stable
+ *    reference the component keeps. Epoch reset and snapshot handle
+ *    them automatically, and they stay valid (frozen) even after the
+ *    registering component dies.
+ *  - gauges + hooks: gauge() registers a lazy callback for derived
+ *    values (hit ratio, utilization, live table entries); its owner
+ *    must outlive any snapshot. onEpochReset() registers a callback
+ *    for window-style state the registry cannot reset by itself
+ *    (CpuPool's accounting window, a Disk's busy integral).
+ *
+ * Paths must be unique; duplicate registration throws. Components
+ * whose instance names are not guaranteed unique derive their prefix
+ * via uniquePrefix(), which appends "#N" on collision.
+ */
+
+#ifndef V3SIM_SIM_METRICS_HH
+#define V3SIM_SIM_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace v3sim::sim
+{
+
+/** What shape of metric lives at a path. */
+enum class MetricKind : uint8_t
+{
+    Counter,
+    Sampler,
+    Histogram,
+    TimeWeighted,
+    Gauge,
+};
+
+const char *metricKindName(MetricKind kind);
+
+/** Hierarchical registry of named metrics, one per Simulation. */
+class MetricRegistry
+{
+  public:
+    using NowFn = std::function<Tick()>;
+
+    /** @param now clock used for epoch bookkeeping and
+     *  time-weighted averages; defaults to a clock stuck at 0. */
+    explicit MetricRegistry(NowFn now = {});
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** @name Owned-metric registration (throws std::invalid_argument
+     *  on an empty or duplicate path) @{ */
+    Counter &counter(const std::string &path);
+    Sampler &sampler(const std::string &path);
+    Histogram &histogram(const std::string &path);
+    TimeWeighted &timeWeighted(const std::string &path);
+    /** @} */
+
+    /** Registers a lazy derived value. The callback must stay valid
+     *  for as long as snapshots are taken. */
+    void gauge(const std::string &path, std::function<double()> fn);
+
+    /** Registers a hook run by resetEpoch() (accounting windows the
+     *  registry cannot reset itself). Same lifetime rule as gauges. */
+    void onEpochReset(std::function<void(Tick)> hook);
+
+    /**
+     * Returns a registry-unique dotted prefix: @p base itself the
+     * first time, "base#2", "base#3", ... for later instances of the
+     * same base. Components with caller-supplied names use this so
+     * two same-named instances in one simulation cannot collide.
+     */
+    std::string uniquePrefix(const std::string &base);
+
+    /** @name Lookup @{ */
+    bool contains(const std::string &path) const;
+    /** Kind at @p path; nullopt-style: throws if absent — use
+     *  contains() first, or findX below. */
+    const Counter *findCounter(const std::string &path) const;
+    const Sampler *findSampler(const std::string &path) const;
+    const Histogram *findHistogram(const std::string &path) const;
+    const TimeWeighted *findTimeWeighted(const std::string &path) const;
+    /** Number of registered metrics (gauges included). */
+    size_t size() const { return metrics_.size(); }
+    /** @} */
+
+    /** Current time per the registry's clock. */
+    Tick now() const { return now_ ? now_() : 0; }
+
+    /** Start of the current measurement epoch. */
+    Tick epochStart() const { return epoch_start_; }
+
+    /**
+     * Starts a new measurement epoch: resets every owned metric
+     * (time-weighted values restart their integration at the current
+     * value) and runs every onEpochReset hook. Replaces the old
+     * scattered per-component resetStats() chains.
+     */
+    void resetEpoch();
+
+    /** One metric's state at snapshot time. Which fields are
+     *  meaningful depends on kind (see toJson for the mapping). */
+    struct Value
+    {
+        MetricKind kind = MetricKind::Counter;
+        uint64_t count = 0; ///< counter value / sample count
+        double value = 0;   ///< gauge value / time-weighted current
+        double sum = 0, mean = 0, min = 0, max = 0, stddev = 0;
+        double p50 = 0, p95 = 0, p99 = 0; ///< histogram quantiles
+        double average = 0;               ///< time-weighted average
+    };
+
+    /** Path -> value for every registered metric (sorted, so JSON
+     *  output is deterministic). */
+    using Snapshot = std::map<std::string, Value>;
+    Snapshot snapshot() const;
+
+    /**
+     * Per-path difference @p after - @p before for monotone fields
+     * (counter values, sample counts and sums; mean is recomputed
+     * from the deltas). Non-subtractable fields (min/max/stddev,
+     * quantiles, gauges) keep @p after's reading. Paths absent from
+     * @p before pass through unchanged.
+     */
+    static Snapshot delta(const Snapshot &before,
+                          const Snapshot &after);
+
+    /** The full snapshot rendered as one JSON object
+     *  { "path": {"kind": ..., ...}, ... }. */
+    std::string toJson() const;
+
+    /** @copydoc toJson, for an arbitrary snapshot. */
+    static std::string toJson(const Snapshot &snap);
+
+  private:
+    using Stored = std::variant<std::unique_ptr<Counter>,
+                                std::unique_ptr<Sampler>,
+                                std::unique_ptr<Histogram>,
+                                std::unique_ptr<TimeWeighted>,
+                                std::function<double()>>;
+
+    /** Throws on empty/duplicate path. */
+    void checkNewPath(const std::string &path) const;
+
+    std::map<std::string, Stored> metrics_;
+    std::vector<std::function<void(Tick)>> hooks_;
+    std::map<std::string, uint32_t> prefix_uses_;
+    NowFn now_;
+    Tick epoch_start_ = 0;
+};
+
+} // namespace v3sim::sim
+
+#endif // V3SIM_SIM_METRICS_HH

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 #include "sim/random.hh"
 #include "sim/task.hh"
 #include "sim/types.hh"
@@ -42,6 +43,10 @@ class Simulation
     /** Independent RNG substream for a component. */
     Rng forkRng() { return rng_.fork(); }
 
+    /** This run's metric registry (see sim/metrics.hh). */
+    MetricRegistry &metrics() { return metrics_; }
+    const MetricRegistry &metrics() const { return metrics_; }
+
     /** Suspends the calling coroutine for @p d. */
     DelayAwaiter sleep(Tick d) { return delay(queue_, d); }
 
@@ -54,6 +59,7 @@ class Simulation
   private:
     EventQueue queue_;
     Rng rng_;
+    MetricRegistry metrics_;
 };
 
 } // namespace v3sim::sim

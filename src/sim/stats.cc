@@ -11,7 +11,9 @@ Sampler::add(double sample)
 {
     ++count_;
     sum_ += sample;
-    sumsq_ += sample * sample;
+    const double d = sample - mean_;
+    mean_ += d / static_cast<double>(count_);
+    m2_ += d * (sample - mean_);
     min_ = std::min(min_, sample);
     max_ = std::max(max_, sample);
 }
@@ -21,8 +23,7 @@ Sampler::stddev() const
 {
     if (count_ == 0)
         return 0.0;
-    const double m = mean();
-    const double var = sumsq_ / count_ - m * m;
+    const double var = m2_ / static_cast<double>(count_);
     return var > 0 ? std::sqrt(var) : 0.0;
 }
 

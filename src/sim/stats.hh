@@ -35,7 +35,14 @@ class Counter
     uint64_t value_ = 0;
 };
 
-/** Scalar sample accumulator: mean, min, max, stddev. */
+/**
+ * Scalar sample accumulator: mean, min, max, stddev.
+ *
+ * Variance uses Welford's online algorithm: the naive
+ * sum-of-squares form cancels catastrophically (variance can even
+ * go negative) when samples are large relative to their spread —
+ * exactly the regime of nanosecond-scale latencies over long runs.
+ */
 class Sampler
 {
   public:
@@ -43,7 +50,7 @@ class Sampler
 
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
@@ -55,7 +62,8 @@ class Sampler
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sumsq_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< sum of squared deviations from the mean
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };

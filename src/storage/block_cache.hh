@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/memory.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 
 namespace v3sim::storage
@@ -117,6 +118,31 @@ class BlockCache
     {
         hits_.reset();
         misses_.reset();
+    }
+
+    /**
+     * Publishes the cache's stats under @p prefix (typically
+     * "server.<name>.cache"). The cache keeps owning its counters —
+     * it is constructed standalone in unit tests, without a
+     * Simulation — so these are gauges plus an epoch hook that
+     * clears the hit/miss counts.
+     */
+    void
+    registerMetrics(sim::MetricRegistry &metrics,
+                    const std::string &prefix)
+    {
+        metrics.gauge(prefix + ".hits", [this] {
+            return static_cast<double>(hits());
+        });
+        metrics.gauge(prefix + ".misses", [this] {
+            return static_cast<double>(misses());
+        });
+        metrics.gauge(prefix + ".hit_ratio",
+                      [this] { return hitRatio(); });
+        metrics.gauge(prefix + ".resident_blocks", [this] {
+            return static_cast<double>(residentBlocks());
+        });
+        metrics.onEpochReset([this](sim::Tick) { resetStats(); });
     }
 
   protected:

@@ -39,7 +39,18 @@ V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
       node_(sim, osmodel::NodeConfig{config_.name, config_.cpus,
                                      config_.host_costs,
                                      config_.phantom_memory}),
-      disks_(sim)
+      disks_(sim),
+      metric_prefix_(
+          sim.metrics().uniquePrefix("server." + config_.name)),
+      reads_(sim.metrics().counter(metric_prefix_ + ".reads")),
+      writes_(sim.metrics().counter(metric_prefix_ + ".writes")),
+      hints_(sim.metrics().counter(metric_prefix_ + ".hints")),
+      prefetched_(
+          sim.metrics().counter(metric_prefix_ + ".prefetched")),
+      retransmit_hits_(
+          sim.metrics().counter(metric_prefix_ + ".retransmit_hits")),
+      server_time_(
+          sim.metrics().sampler(metric_prefix_ + ".server_time_ns"))
 {
     // The server manages its own NIC registration: the cache, the
     // staging areas and the message buffers are registered once at
@@ -70,6 +81,8 @@ V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
             /*pre_pinned=*/true);
         assert(reg.has_value() && "cache must fit the server NIC");
         cache_handle_ = reg->handle;
+        cache_->registerMetrics(sim.metrics(),
+                                metric_prefix_ + ".cache");
     }
 }
 

@@ -243,12 +243,16 @@ class V3Server
                        CacheKeyHash>
         loading_;
 
-    sim::Counter reads_;
-    sim::Counter writes_;
-    sim::Counter hints_;
-    sim::Counter prefetched_;
-    sim::Counter retransmit_hits_;
-    sim::Sampler server_time_;
+    /// Registry path prefix ("server.<name>", uniquified); must
+    /// precede the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    sim::Counter &reads_;
+    sim::Counter &writes_;
+    sim::Counter &hints_;
+    sim::Counter &prefetched_;
+    sim::Counter &retransmit_hits_;
+    sim::Sampler &server_time_;
 };
 
 } // namespace v3sim::storage

@@ -1,0 +1,449 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace v3sim::util
+{
+
+// --- JsonWriter ------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (need_comma_)
+        out_ += ',';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    stack_ += 'o';
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    stack_.pop_back();
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    stack_ += 'a';
+    need_comma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    stack_.pop_back();
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (need_comma_)
+        out_ += ',';
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    need_comma_ = false;
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number_)
+{
+    separate();
+    out_ += number(number_);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t number_)
+{
+    separate();
+    out_ += std::to_string(number_);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t number_)
+{
+    separate();
+    out_ += std::to_string(number_);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    out_ += flag ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    separate();
+    out_ += json;
+    need_comma_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    // Integral values within the exact-double range print as
+    // integers so counters stay counters in the artifact.
+    if (value == std::floor(value) && std::fabs(value) < 9.0e15)
+        return std::to_string(static_cast<int64_t>(value));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+// --- JsonValue parser ------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) == word) {
+            pos += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return false;
+                const char esc = text[pos++];
+                switch (esc) {
+                  case '"': *out += '"'; break;
+                  case '\\': *out += '\\'; break;
+                  case '/': *out += '/'; break;
+                  case 'b': *out += '\b'; break;
+                  case 'f': *out += '\f'; break;
+                  case 'n': *out += '\n'; break;
+                  case 'r': *out += '\r'; break;
+                  case 't': *out += '\t'; break;
+                  case 'u': {
+                    uint32_t code = 0;
+                    if (!parseHex4(&code))
+                        return false;
+                    if (code >= 0xD800 && code <= 0xDBFF) {
+                        // Surrogate pair.
+                        uint32_t low = 0;
+                        if (!literal("\\u") || !parseHex4(&low) ||
+                            low < 0xDC00 || low > 0xDFFF)
+                            return false;
+                        code = 0x10000 + ((code - 0xD800) << 10) +
+                               (low - 0xDC00);
+                    }
+                    appendUtf8(out, code);
+                    break;
+                  }
+                  default: return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return false; // raw control char
+            } else {
+                *out += c;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseHex4(uint32_t *out)
+    {
+        if (pos + 4 > text.size())
+            return false;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return false;
+        }
+        *out = v;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string *out, uint32_t code)
+    {
+        if (code < 0x80) {
+            *out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            *out += static_cast<char>(0xF0 | (code >> 18));
+            *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    bool
+    parseValue(JsonValue *out, int depth)
+    {
+        if (depth > 64)
+            return false;
+        skipWs();
+        if (pos >= text.size())
+            return false;
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"') {
+            out->type = JsonValue::Type::String;
+            return parseString(&out->string);
+        }
+        if (literal("true")) {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out->type = JsonValue::Type::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue *out, int depth)
+    {
+        consume('{');
+        out->type = JsonValue::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string name;
+            if (!parseString(&name))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            JsonValue member;
+            if (!parseValue(&member, depth + 1))
+                return false;
+            out->object.emplace(std::move(name), std::move(member));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out, int depth)
+    {
+        consume('[');
+        out->type = JsonValue::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue element;
+            if (!parseValue(&element, depth + 1))
+                return false;
+            out->array.push_back(std::move(element));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return false;
+        const std::string token(text.substr(start, pos - start));
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return false;
+        out->type = JsonValue::Type::Number;
+        out->number = v;
+        return true;
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    Parser parser{text};
+    JsonValue root;
+    if (!parser.parseValue(&root, 0))
+        return std::nullopt;
+    parser.skipWs();
+    if (parser.pos != text.size())
+        return std::nullopt; // trailing garbage
+    return root;
+}
+
+} // namespace v3sim::util

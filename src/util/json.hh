@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON support for the bench artifact pipeline.
+ *
+ * JsonWriter is a streaming writer with automatic comma/colon
+ * placement, full string escaping, and numeric formatting rules
+ * suited to metrics export: integral doubles print as integers,
+ * non-finite values print as null (JSON has no NaN/Inf).
+ *
+ * JsonValue is a small recursive-descent parser used by tests and
+ * the quick_bench_smoke validator to prove emitted artifacts parse
+ * and contain the required keys. It is not a general-purpose JSON
+ * library; it favors strictness and small code over speed.
+ */
+
+#ifndef V3SIM_UTIL_JSON_HH
+#define V3SIM_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace v3sim::util
+{
+
+/** Streaming JSON writer accumulating into a string. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by a value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(int64_t number);
+    JsonWriter &value(uint64_t number);
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** Splices pre-rendered JSON in value position, verbatim. */
+    JsonWriter &raw(std::string_view json);
+
+    /** The document so far. */
+    const std::string &str() const { return out_; }
+
+    /** Escapes @p text per RFC 8259 (quotes not included). */
+    static std::string escape(std::string_view text);
+
+    /** Formats a double: integers without a fraction, non-finite as
+     *  "null", everything else round-trippable shortest-ish form. */
+    static std::string number(double value);
+
+  private:
+    /** Emits the separator a new value/key needs in this context. */
+    void separate();
+
+    std::string out_;
+    /** One char per open container: 'o' object, 'a' array. */
+    std::string stack_;
+    bool need_comma_ = false;
+    bool after_key_ = false;
+};
+
+/** Parsed JSON document (or subtree). */
+struct JsonValue
+{
+    enum class Type : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /**
+     * Parses a complete JSON document (trailing whitespace allowed,
+     * trailing garbage rejected). @return nullopt on any syntax
+     * error.
+     */
+    static std::optional<JsonValue> parse(std::string_view text);
+};
+
+} // namespace v3sim::util
+
+#endif // V3SIM_UTIL_JSON_HH

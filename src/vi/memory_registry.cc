@@ -166,4 +166,37 @@ MemoryRegistry::regionOf(MemHandle handle) const
     return handle.slot / region_entries_;
 }
 
+void
+MemoryRegistry::registerMetrics(sim::MetricRegistry &metrics,
+                                const std::string &prefix)
+{
+    metrics.gauge(prefix + ".registrations", [this] {
+        return static_cast<double>(registrations_.value());
+    });
+    metrics.gauge(prefix + ".deregistrations", [this] {
+        return static_cast<double>(deregistrations_.value());
+    });
+    metrics.gauge(prefix + ".region_deregs", [this] {
+        return static_cast<double>(region_deregs_.value());
+    });
+    metrics.gauge(prefix + ".failures", [this] {
+        return static_cast<double>(failures_.value());
+    });
+    metrics.gauge(prefix + ".pinned_bytes", [this] {
+        return static_cast<double>(registered_bytes_);
+    });
+    metrics.gauge(prefix + ".live_entries", [this] {
+        return static_cast<double>(live_entries_);
+    });
+    metrics.gauge(prefix + ".peak_bytes", [this] {
+        return static_cast<double>(peak_bytes_);
+    });
+    metrics.onEpochReset([this](sim::Tick) {
+        registrations_.reset();
+        deregistrations_.reset();
+        region_deregs_.reset();
+        failures_.reset();
+    });
+}
+
 } // namespace v3sim::vi

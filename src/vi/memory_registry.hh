@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/memory.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "vi/vi_costs.hh"
@@ -117,6 +118,17 @@ class MemoryRegistry
     uint64_t failureCount() const { return failures_.value(); }
     uint64_t peakRegisteredBytes() const { return peak_bytes_; }
     /** @} */
+
+    /**
+     * Publishes this registry's stats under @p prefix (typically
+     * "nic.<name>.mem_registry"). The registry keeps owning its
+     * counters — it is constructed standalone in tests, without a
+     * Simulation — so the metrics are gauges, plus an epoch hook
+     * that resets the operation counters (live translation-table
+     * state is untouched: registered buffers survive epochs).
+     */
+    void registerMetrics(sim::MetricRegistry &metrics,
+                         const std::string &prefix);
 
   private:
     struct Entry

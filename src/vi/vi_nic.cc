@@ -29,11 +29,22 @@ ViNic::ViNic(sim::Simulation &sim, net::Fabric &fabric,
       registry_(costs_, reg_region_entries),
       port_(net::kInvalidPort),
       rx_engine_(sim.queue(), 1, name_ + ".rx"),
-      tx_engine_(sim.queue(), 1, name_ + ".tx")
+      tx_engine_(sim.queue(), 1, name_ + ".tx"),
+      metric_prefix_(sim.metrics().uniquePrefix("nic." + name_)),
+      packets_sent_(
+          sim.metrics().counter(metric_prefix_ + ".packets_sent")),
+      packets_received_(
+          sim.metrics().counter(metric_prefix_ + ".packets_received")),
+      recv_overruns_(
+          sim.metrics().counter(metric_prefix_ + ".recv_overruns")),
+      protection_errors_(sim.metrics().counter(metric_prefix_ +
+                                               ".protection_errors"))
 {
     port_ = fabric_.attach(
         [this](net::Packet packet) { onPacket(std::move(packet)); },
         name_);
+    registry_.registerMetrics(sim.metrics(),
+                              metric_prefix_ + ".mem_registry");
 }
 
 ViEndpoint &

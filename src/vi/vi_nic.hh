@@ -300,10 +300,14 @@ class ViNic
     AcceptHandler accept_handler_;
     RdmaObserver rdma_observer_;
 
-    sim::Counter packets_sent_;
-    sim::Counter packets_received_;
-    sim::Counter recv_overruns_;
-    sim::Counter protection_errors_;
+    /// Registry path prefix ("nic.<name>", uniquified); must precede
+    /// the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    sim::Counter &packets_sent_;
+    sim::Counter &packets_received_;
+    sim::Counter &recv_overruns_;
+    sim::Counter &protection_errors_;
 };
 
 } // namespace v3sim::vi

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * util::JsonWriter / util::JsonValue tests: escaping, nesting,
+ * numeric formatting, and parse round-trips.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+using namespace v3sim::util;
+
+TEST(JsonWriter, ObjectsArraysAndCommas)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("fig03");
+    w.key("rows").beginArray();
+    w.beginObject().key("x").value(int64_t{1}).endObject();
+    w.beginObject().key("x").value(int64_t{2}).endObject();
+    w.endArray();
+    w.key("ok").value(true);
+    w.key("none").null();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"fig03\",\"rows\":[{\"x\":1},"
+                       "{\"x\":2}],\"ok\":true,\"none\":null}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)),
+              "\\u0001");
+}
+
+TEST(JsonWriter, NumberFormatting)
+{
+    EXPECT_EQ(JsonWriter::number(42.0), "42");
+    EXPECT_EQ(JsonWriter::number(-3.0), "-3");
+    EXPECT_EQ(JsonWriter::number(0.5), "0.5");
+    // JSON has no NaN/Inf; they must degrade to null.
+    EXPECT_EQ(JsonWriter::number(std::nan("")), "null");
+    EXPECT_EQ(JsonWriter::number(INFINITY), "null");
+}
+
+TEST(JsonWriter, RawSplicing)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("metrics").raw("{\"a\":1}");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"metrics\":{\"a\":1}}");
+}
+
+TEST(JsonValue, ParsesDocuments)
+{
+    const auto doc = JsonValue::parse(
+        " {\"s\":\"hi\\n\",\"n\":-2.5e1,\"b\":false,\"z\":null,"
+        "\"a\":[1,2,3],\"o\":{\"k\":\"v\"}} ");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_EQ(doc->find("s")->string, "hi\n");
+    EXPECT_DOUBLE_EQ(doc->find("n")->number, -25.0);
+    EXPECT_FALSE(doc->find("b")->boolean);
+    EXPECT_EQ(doc->find("z")->type, JsonValue::Type::Null);
+    ASSERT_TRUE(doc->find("a")->isArray());
+    EXPECT_EQ(doc->find("a")->array.size(), 3u);
+    EXPECT_EQ(doc->find("o")->find("k")->string, "v");
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonValue, RejectsMalformedInput)
+{
+    EXPECT_FALSE(JsonValue::parse("").has_value());
+    EXPECT_FALSE(JsonValue::parse("{").has_value());
+    EXPECT_FALSE(JsonValue::parse("{\"a\":1,}").has_value());
+    EXPECT_FALSE(JsonValue::parse("[1 2]").has_value());
+    EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+    EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+}
+
+TEST(JsonValue, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("quote\"key").value("tab\tvalue");
+    w.key("pi").value(3.25);
+    w.endObject();
+    const auto doc = JsonValue::parse(w.str());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("quote\"key")->string, "tab\tvalue");
+    EXPECT_DOUBLE_EQ(doc->find("pi")->number, 3.25);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * MetricRegistry unit tests: registration, dotted-path lookup,
+ * duplicate rejection, epoch reset semantics, snapshot/delta.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+#include "util/json.hh"
+
+using namespace v3sim;
+
+TEST(MetricRegistry, RegisterAndLookup)
+{
+    sim::MetricRegistry registry;
+    sim::Counter &ios = registry.counter("client.kdsa0.ios");
+    sim::Sampler &lat = registry.sampler("client.kdsa0.latency_ns");
+    sim::Histogram &hist =
+        registry.histogram("client.kdsa0.latency_hist_ns");
+    sim::TimeWeighted &depth = registry.timeWeighted("disk.d0.depth");
+
+    ios.increment(3);
+    lat.add(100.0);
+    hist.add(4096.0);
+    depth.set(10, 2.0);
+
+    EXPECT_TRUE(registry.contains("client.kdsa0.ios"));
+    EXPECT_FALSE(registry.contains("client.kdsa0.nope"));
+    EXPECT_EQ(registry.size(), 4u);
+
+    ASSERT_NE(registry.findCounter("client.kdsa0.ios"), nullptr);
+    EXPECT_EQ(registry.findCounter("client.kdsa0.ios")->value(), 3u);
+    ASSERT_NE(registry.findSampler("client.kdsa0.latency_ns"),
+              nullptr);
+    EXPECT_DOUBLE_EQ(
+        registry.findSampler("client.kdsa0.latency_ns")->mean(),
+        100.0);
+    ASSERT_NE(registry.findHistogram("client.kdsa0.latency_hist_ns"),
+              nullptr);
+    EXPECT_EQ(registry.findHistogram("client.kdsa0.latency_hist_ns")
+                  ->count(),
+              1u);
+    EXPECT_NE(registry.findTimeWeighted("disk.d0.depth"), nullptr);
+
+    // Wrong-kind lookups return null rather than lying.
+    EXPECT_EQ(registry.findCounter("client.kdsa0.latency_ns"),
+              nullptr);
+    EXPECT_EQ(registry.findSampler("client.kdsa0.ios"), nullptr);
+    EXPECT_EQ(registry.findHistogram("missing"), nullptr);
+}
+
+TEST(MetricRegistry, DuplicateAndEmptyPathsThrow)
+{
+    sim::MetricRegistry registry;
+    registry.counter("a.b");
+    EXPECT_THROW(registry.counter("a.b"), std::invalid_argument);
+    EXPECT_THROW(registry.sampler("a.b"), std::invalid_argument);
+    EXPECT_THROW(registry.gauge("a.b", [] { return 0.0; }),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter(""), std::invalid_argument);
+}
+
+TEST(MetricRegistry, UniquePrefix)
+{
+    sim::MetricRegistry registry;
+    EXPECT_EQ(registry.uniquePrefix("disk.sys"), "disk.sys");
+    EXPECT_EQ(registry.uniquePrefix("disk.sys"), "disk.sys#2");
+    EXPECT_EQ(registry.uniquePrefix("disk.sys"), "disk.sys#3");
+    EXPECT_EQ(registry.uniquePrefix("disk.log"), "disk.log");
+}
+
+TEST(MetricRegistry, EpochResetClearsOwnedMetricsAndRunsHooks)
+{
+    sim::Tick now = 1000;
+    sim::MetricRegistry registry([&now] { return now; });
+
+    sim::Counter &count = registry.counter("c");
+    sim::Sampler &samples = registry.sampler("s");
+    sim::Histogram &hist = registry.histogram("h");
+    sim::TimeWeighted &busy = registry.timeWeighted("t");
+    count.increment(7);
+    samples.add(5.0);
+    hist.add(9.0);
+    busy.set(0, 1.0);
+
+    sim::Tick hook_at = -1;
+    registry.onEpochReset([&hook_at](sim::Tick at) { hook_at = at; });
+
+    now = 2000;
+    registry.resetEpoch();
+
+    EXPECT_EQ(count.value(), 0u);
+    EXPECT_EQ(samples.count(), 0u);
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hook_at, 2000);
+    EXPECT_EQ(registry.epochStart(), 2000);
+    // Time-weighted integration restarts at the pre-reset value.
+    EXPECT_DOUBLE_EQ(busy.current(), 1.0);
+    now = 3000;
+    EXPECT_DOUBLE_EQ(busy.average(now), 1.0);
+}
+
+TEST(MetricRegistry, SnapshotAndDelta)
+{
+    sim::MetricRegistry registry;
+    sim::Counter &count = registry.counter("ops");
+    sim::Sampler &samples = registry.sampler("lat");
+    double gauge_value = 0.25;
+    registry.gauge("ratio", [&gauge_value] { return gauge_value; });
+
+    count.increment(10);
+    samples.add(4.0);
+    samples.add(6.0);
+    const auto before = registry.snapshot();
+    ASSERT_EQ(before.count("ops"), 1u);
+    EXPECT_EQ(before.at("ops").count, 10u);
+    EXPECT_DOUBLE_EQ(before.at("lat").mean, 5.0);
+    EXPECT_DOUBLE_EQ(before.at("ratio").value, 0.25);
+
+    count.increment(5);
+    samples.add(20.0);
+    gauge_value = 0.75;
+    const auto after = registry.snapshot();
+
+    const auto diff = sim::MetricRegistry::delta(before, after);
+    EXPECT_EQ(diff.at("ops").count, 5u);
+    EXPECT_EQ(diff.at("lat").count, 1u);
+    EXPECT_DOUBLE_EQ(diff.at("lat").mean, 20.0);
+    // Gauges are instantaneous: delta keeps the newest reading.
+    EXPECT_DOUBLE_EQ(diff.at("ratio").value, 0.75);
+}
+
+TEST(MetricRegistry, ToJsonParses)
+{
+    sim::MetricRegistry registry;
+    registry.counter("nic.0.packets_sent").increment(42);
+    registry.sampler("client.local.latency_ns").add(123.0);
+    registry.gauge("server.v3-0.cache.hit_ratio",
+                   [] { return 0.5; });
+
+    const auto doc = util::JsonValue::parse(registry.toJson());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+    const util::JsonValue *sent = doc->find("nic.0.packets_sent");
+    ASSERT_NE(sent, nullptr);
+    const util::JsonValue *count = sent->find("count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_DOUBLE_EQ(count->number, 42.0);
+    const util::JsonValue *kind = sent->find("kind");
+    ASSERT_NE(kind, nullptr);
+    EXPECT_EQ(kind->string, "counter");
+}
