@@ -1,18 +1,24 @@
 /**
  * @file
- * Failover demo: DSA's retransmission and reconnection in action.
+ * Failover demo: DSA's retransmission, reconnection and node-crash
+ * recovery in action.
  *
  * Section 2.2: DSA adds "flow control, retransmission and
  * reconnection that are critical for industrial-strength systems" on
  * top of VI. This demo runs a stream of I/O while injecting, in
- * order:
+ * escalating order of severity:
  *   1. a burst of dropped packets (request-level retransmission
  *      recovers, with the server's dedup filter keeping writes
  *      exactly-once);
  *   2. a silent connection break, as a NIC or link failure would
  *      cause (the client detects it through retransmission
  *      exhaustion, reconnects a fresh VI, replays every outstanding
- *      request, and the workload continues).
+ *      request, and the workload continues);
+ *   3. a whole-node crash and restart: the server drops its volatile
+ *      cache and leaves the fabric, then comes back cold — the
+ *      client rides through on the same exhaust-and-reconnect path,
+ *      because every committed write is already on disk (section
+ *      5.2's commit-before-complete rule).
  *
  *   $ ./examples/failover_demo
  */
@@ -24,6 +30,7 @@
 #include "osmodel/node.hh"
 #include "sim/simulation.hh"
 #include "storage/v3_server.hh"
+#include "vi/fault_injector.hh"
 
 using namespace v3sim;
 
@@ -32,6 +39,7 @@ main()
 {
     sim::Simulation sim(99);
     net::Fabric fabric(sim.queue());
+    vi::FaultInjector faults(sim, fabric);
     osmodel::Node host(sim, osmodel::NodeConfig{.name = "db",
                                                 .cpus = 4});
     vi::ViNic nic(sim, fabric, host.memory(), "db.nic");
@@ -56,28 +64,27 @@ main()
     const sim::Addr buffer = host.memory().allocate(8192);
     int completed = 0, failed = 0;
 
-    // Fault schedule.
-    int drops_remaining = 0;
-    fabric.setDropFilter([&](const net::Packet &) {
-        if (drops_remaining > 0) {
-            --drops_remaining;
-            return true;
-        }
-        return false;
-    });
+    // Fault schedule: three acts of increasing severity.
     sim.queue().schedule(sim::msecs(20), [&] {
         std::printf("[%7.1f ms] FAULT: dropping the next 6 "
                     "packets\n",
                     sim::toMsecs(sim.now()));
-        drops_remaining = 6;
+        faults.dropNext(6);
     });
     sim.queue().schedule(sim::msecs(60), [&] {
         std::printf("[%7.1f ms] FAULT: silently breaking the VI "
                     "connection\n",
                     sim::toMsecs(sim.now()));
-        // Endpoint 0 is the client's first connection.
-        nic.breakConnection(*nic.endpoint(0));
     });
+    // Endpoint 0 is the client's first connection.
+    faults.scheduleBreak(sim::msecs(60), nic, 0);
+    sim.queue().schedule(sim::msecs(100), [&] {
+        std::printf("[%7.1f ms] FAULT: crashing the storage node "
+                    "(restart at 115 ms)\n",
+                    sim::toMsecs(sim.now()));
+    });
+    faults.scheduleNodeOutage(sim::msecs(100), sim::msecs(115),
+                              server);
 
     sim::spawn([](sim::Simulation &s, dsa::DsaClient &c, sim::Addr buf,
                   int &done, int &bad) -> sim::Task<> {
@@ -117,12 +124,18 @@ main()
     std::printf("  server writes applied : %llu\n",
                 static_cast<unsigned long long>(
                     server.writeCount()));
+    std::printf("  node crashes/restarts : %llu/%llu\n",
+                static_cast<unsigned long long>(server.crashCount()),
+                static_cast<unsigned long long>(
+                    server.restartCount()));
     const bool survived = completed == 100 && failed == 0 &&
-                          client.reconnectCount() >= 1;
+                          client.reconnectCount() >= 2 &&
+                          server.crashCount() == 1 &&
+                          server.restartCount() == 1;
     std::printf("\n%s\n",
                 survived
-                    ? "PASS: every I/O completed despite drops and "
-                      "a severed connection"
+                    ? "PASS: every I/O completed despite drops, a "
+                      "severed connection, and a node crash"
                     : "UNEXPECTED: see counters above");
     return survived ? 0 : 1;
 }

@@ -5,8 +5,10 @@
  * Database code (and the micro-benchmarks) issue block I/O through
  * this interface; the concrete device is one of the three DSA
  * implementations over a V3 server, the local-disk baseline, or a
- * striping composition across several V3 nodes (the multi-node
- * configurations of Tables 1/2 attach one NIC per storage node).
+ * composition across several V3 nodes: StripedDevice (RAID-0, the
+ * multi-node configurations of Tables 1/2 attach one NIC per
+ * storage node) and MirroredDevice (RAID-1 with failover and
+ * resync), stackable into RAID-10.
  *
  * Calls are coroutines invoked from application workers that hold no
  * CPU lease: the device models the full issue/completion path,

@@ -60,6 +60,8 @@ DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
                                                 ".retransmits")),
       reconnects_(node.sim().metrics().counter(metric_prefix_ +
                                                ".reconnects")),
+      revives_(node.sim().metrics().counter(metric_prefix_ +
+                                            ".revives")),
       intr_completions_(node.sim().metrics().counter(
           metric_prefix_ + ".intr_completions")),
       polled_completions_(node.sim().metrics().counter(
@@ -162,8 +164,38 @@ DsaClient::connect()
 }
 
 sim::Task<bool>
+DsaClient::revive()
+{
+    if (ready_ && !dead_)
+        co_return true;
+    if (reconnecting_)
+        co_return false; // automatic reconnection still in progress
+    // One attempt per call: the prober retries on its own schedule,
+    // so a dead server just means this probe fails cheaply.
+    dead_ = false;
+    const bool ok = co_await establish();
+    if (ok) {
+        ready_ = true;
+        revives_.increment();
+    } else {
+        dead_ = true;
+    }
+    co_return ok;
+}
+
+sim::Task<bool>
 DsaClient::establish()
 {
+    // If the old endpoint is still connected (spurious retransmission
+    // exhaustion under load, not an actual failure), disconnect it
+    // first so the server learns the connection is abandoned and can
+    // release its staging registration. Silently walking away would
+    // leak server NIC capacity on every reconnection.
+    if (ep_ && ep_->state() == vi::EndpointState::Connected) {
+        ep_->setStateHandler(nullptr);
+        nic_.disconnect(*ep_);
+    }
+
     // Fresh endpoint each time: VI endpoints do not survive errors.
     ep_ = &nic_.createEndpoint(nullptr, recv_cq_.get());
 
@@ -920,6 +952,7 @@ DsaClient::resetStats()
     ios_.reset();
     retransmits_.reset();
     reconnects_.reset();
+    revives_.reset();
     intr_completions_.reset();
     polled_completions_.reset();
     latency_.reset();

@@ -124,10 +124,22 @@ class DsaClient : public BlockDevice
     /** True once reconnection has been abandoned. */
     bool dead() const { return dead_; }
 
+    /**
+     * One fresh connection attempt after the client declared the
+     * volume dead (reconnection exhausted). Used by MirroredDevice's
+     * resync prober to test whether a crashed node is back. Returns
+     * true when the connection is live again; false leaves the
+     * client dead for the next probe. No-op true if already
+     * connected.
+     */
+    sim::Task<bool> revive();
+
     /** @name Statistics @{ */
     uint64_t ioCount() const { return ios_.value(); }
     uint64_t retransmitCount() const { return retransmits_.value(); }
     uint64_t reconnectCount() const { return reconnects_.value(); }
+    /** Successful post-death revivals (resync probes that landed). */
+    uint64_t reviveCount() const { return revives_.value(); }
     /** Interrupt-path completions (vs polled). */
     uint64_t interruptCompletions() const
     {
@@ -145,6 +157,10 @@ class DsaClient : public BlockDevice
         return latency_hist_;
     }
     const RegCache &regCache() const { return *reg_cache_; }
+    /** Zeroes this client's registry-owned metrics. Prefer
+     *  `MetricRegistry::resetEpoch()` to open a measurement window
+     *  across the whole stack; this is the per-component escape
+     *  hatch. */
     void resetStats();
     /** @} */
 
@@ -288,6 +304,7 @@ class DsaClient : public BlockDevice
     sim::Counter &ios_;
     sim::Counter &retransmits_;
     sim::Counter &reconnects_;
+    sim::Counter &revives_;
     sim::Counter &intr_completions_;
     sim::Counter &polled_completions_;
     sim::Sampler &latency_;

@@ -69,6 +69,9 @@ class LocalBackend : public BlockDevice
     {
         return latency_hist_;
     }
+    /** Zeroes this backend's registry-owned metrics. Prefer
+     *  `MetricRegistry::resetEpoch()` for stack-wide measurement
+     *  windows. */
     void resetStats();
 
   private:

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Block-level mirroring across two (or more) V3 replicas — RAID-1
+ * over storage nodes, composable under StripedDevice for RAID-10.
+ *
+ * The paper presents V3 as a storage *cluster* (§1, Table 1/2: 4 and
+ * 8 nodes) whose DSA layer supplies the reliability VI lacks (§2.2);
+ * this device extends that reliability story from link faults to
+ * whole-node faults, the redundancy baseline commodity-storage
+ * follow-ups assume. Semantics:
+ *
+ *  - writes are duplicated to every active replica and succeed while
+ *    at least one replica accepts them;
+ *  - reads round-robin across active replicas (doubling read
+ *    bandwidth when healthy) and retry on the survivor when a
+ *    replica fails mid-read;
+ *  - a replica whose client gave up (DSA retransmission and
+ *    reconnection exhausted — the node is *down*, not just lossy)
+ *    is failed over: it stops receiving I/O and every write it
+ *    misses is recorded in a dirty-region log;
+ *  - a background resync task probes the failed node; once its
+ *    client revives, the replica enters *catch-up*: new writes are
+ *    duplicated to it directly again (so the dirty log stops
+ *    growing and resync converges even under sustained writes),
+ *    while the resync task replays the regions missed during the
+ *    down window from a surviving replica in bounded chunks;
+ *  - the replica is readmitted for reads only when the log is
+ *    drained and no write is still in flight, so a readmitted
+ *    replica has observed every completed write.
+ *
+ * Exactly-once across the failover is inherited from the DSA layer:
+ * the server's per-connection dedup filter absorbs duplicate
+ * retransmissions, and the mirror completes each application I/O
+ * once regardless of how many replicas acknowledged it.
+ */
+
+#ifndef V3SIM_DSA_MIRRORED_DEVICE_HH
+#define V3SIM_DSA_MIRRORED_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsa/block_device.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace v3sim::dsa
+{
+
+class DsaClient;
+
+/** Mirror configuration. */
+struct MirrorConfig
+{
+    std::string name = "mirror";
+
+    /** How often the resync task probes a down replica. */
+    sim::Tick probe_interval = sim::msecs(10);
+
+    /**
+     * Bytes replayed per resync I/O. Must not exceed the server's
+     * staging_slot_bytes (default 128 K): the replay path is ordinary
+     * DSA writes, and oversized writes fail server validation.
+     */
+    uint64_t resync_chunk = 128 * 1024;
+
+    /**
+     * Chunk replays in flight at once. The dirty log of a random
+     * write load is many scattered small regions; replaying them one
+     * at a time is bounded by a single disk's write latency, so the
+     * resync pipelines a small batch (still far below the server's
+     * staging-slot budget).
+     */
+    uint32_t resync_parallel = 8;
+};
+
+/**
+ * One leg of the mirror: the device I/O goes to, plus an optional
+ * revive hook the resync prober calls to test whether a failed
+ * replica's node is reachable again. Without a revive hook a failed
+ * replica stays failed (no automatic readmission).
+ */
+struct MirrorReplica
+{
+    BlockDevice *device = nullptr;
+    std::function<sim::Task<bool>()> revive;
+
+    /** Wires both fields to a DsaClient (device + revive()). */
+    static MirrorReplica forClient(DsaClient &client);
+};
+
+/** RAID-1 across V3 replicas with failover and background resync. */
+class MirroredDevice : public BlockDevice
+{
+  public:
+    /**
+     * @param memory host memory for the resync bounce buffer.
+     * @param replicas at least two legs, all the same capacity class
+     *        (effective capacity is the minimum).
+     */
+    MirroredDevice(sim::Simulation &sim, sim::MemorySpace &memory,
+                   std::vector<MirrorReplica> replicas,
+                   MirrorConfig config = {});
+
+    MirroredDevice(const MirroredDevice &) = delete;
+    MirroredDevice &operator=(const MirroredDevice &) = delete;
+
+    /** BlockDevice API. @{ */
+    sim::Task<bool> read(uint64_t offset, uint64_t len,
+                         sim::Addr buffer) override;
+    sim::Task<bool> write(uint64_t offset, uint64_t len,
+                          sim::Addr buffer) override;
+    uint64_t capacity() const override;
+    /** @} */
+
+    /** @name Statistics @{ */
+    size_t replicaCount() const { return replicas_.size(); }
+    size_t activeReplicas() const;
+    /** True while any replica is failed out of the mirror. */
+    bool degraded() const;
+    uint64_t failoverCount() const { return failovers_.value(); }
+    uint64_t readmitCount() const { return readmits_.value(); }
+    uint64_t resyncBytes() const { return resync_bytes_.value(); }
+    /** Total bytes currently in dirty-region logs. */
+    uint64_t dirtyBytes() const;
+    /** @} */
+
+  private:
+    struct Replica
+    {
+        MirrorReplica leg;
+        bool active = true;
+        bool resyncing = false;
+        /** Node reachable again, replay in progress: new writes are
+         *  duplicated to this replica, reads still avoid it. */
+        bool catching_up = false;
+        /** Dirty-region log: offset -> length, merged intervals. */
+        std::map<uint64_t, uint64_t> dirty;
+        /** Writes in flight that do not target this replica (it was
+         *  down when they were issued). They log their region on
+         *  completion, so readmission waits for this to reach zero
+         *  rather than for *all* writes to drain — the latter never
+         *  happens under a sustained closed-loop load. */
+        uint64_t inflight_missing = 0;
+        /** Replay chunks currently in flight (offset -> length):
+         *  application writes overlapping one are re-logged, since
+         *  the replayed snapshot may land after their data. */
+        std::map<uint64_t, uint64_t> replaying;
+    };
+
+    /** Fails a replica out of the mirror (idempotent) and starts its
+     *  resync task when a revive hook is available. */
+    void failReplica(size_t idx);
+
+    /** Merges [offset, offset+len) into the replica's dirty log. */
+    static void logDirty(Replica &replica, uint64_t offset,
+                         uint64_t len);
+
+    /** Probe -> replay -> readmit loop for one failed replica. */
+    sim::Task<> resyncTask(size_t idx);
+
+    /** Index of an active replica to read from, or replicas_.size()
+     *  when none is left. Advances the round-robin cursor. */
+    size_t pickReader();
+
+    sim::Simulation &sim_;
+    sim::MemorySpace &memory_;
+    MirrorConfig config_;
+    std::vector<Replica> replicas_;
+
+    /** Resync bounce buffers, resync_parallel chunks. */
+    sim::Addr scratch_ = 0;
+
+    size_t rr_cursor_ = 0;
+
+    // Prefix member must precede the metric references (init order).
+    std::string metric_prefix_;
+    sim::Counter &failovers_;
+    sim::Counter &readmits_;
+    sim::Counter &resyncs_;
+    sim::Counter &resync_bytes_;
+    sim::Counter &degraded_reads_;
+    sim::Counter &degraded_writes_;
+    sim::Sampler &resync_time_ns_;
+    sim::TimeWeighted &degraded_replicas_;
+};
+
+} // namespace v3sim::dsa
+
+#endif // V3SIM_DSA_MIRRORED_DEVICE_HH

@@ -45,7 +45,9 @@ Fabric::send(Packet packet, std::function<void()> on_wire)
             on_wire();
         return;
     }
-    const bool drop = drop_filter_ && drop_filter_(packet);
+    const bool down =
+        !ports_[packet.src]->up || !ports_[packet.dst]->up;
+    const bool drop = down || (drop_filter_ && drop_filter_(packet));
     if (drop)
         dropped_.increment();
 
@@ -73,8 +75,27 @@ void
 Fabric::deliver(Packet packet)
 {
     PortState &dst = *ports_[packet.dst];
+    if (!dst.up) {
+        // The port went down while this packet was propagating: a
+        // crashed node cannot receive, so the packet just vanishes.
+        dropped_.increment();
+        return;
+    }
     dst.delivered.increment();
     dst.handler(std::move(packet));
+}
+
+void
+Fabric::setPortUp(PortId id, bool up)
+{
+    assert(id < ports_.size());
+    ports_[id]->up = up;
+}
+
+bool
+Fabric::portUp(PortId id) const
+{
+    return id < ports_.size() && ports_[id]->up;
 }
 
 uint64_t

@@ -17,7 +17,11 @@
  * control headers and RDMA data can weigh what the real wire would.
  *
  * A drop filter supports fault injection (lost packets, severed
- * links) used to exercise DSA retransmission and reconnection.
+ * links) used to exercise DSA retransmission and reconnection. Ports
+ * can additionally be marked down (setPortUp), modelling a whole
+ * node/NIC leaving the fabric: packets to or from a down port vanish
+ * silently, including packets already in flight towards it — exactly
+ * what a powered-off node looks like to its peers.
  */
 
 #ifndef V3SIM_NET_FABRIC_HH
@@ -101,6 +105,18 @@ class Fabric
     /** Installs (or clears, with nullptr) the drop filter. */
     void setDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
+    /**
+     * Marks a port down (node crash) or back up (restart). While a
+     * port is down every packet to or from it is dropped silently —
+     * peers get no notification, matching a real node failure. Down
+     * ports also swallow packets that were already propagating
+     * towards them when the port went down.
+     */
+    void setPortUp(PortId id, bool up);
+
+    /** True when the port is attached and up. */
+    bool portUp(PortId id) const;
+
     const FabricConfig &config() const { return config_; }
 
     size_t portCount() const { return ports_.size(); }
@@ -124,6 +140,7 @@ class Fabric
         Handler handler;
         std::string name;
         std::unique_ptr<sim::ServerPool> tx;
+        bool up = true;
         sim::Counter bytes_sent;
         sim::Counter delivered;
     };

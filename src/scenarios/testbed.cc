@@ -84,6 +84,7 @@ Testbed::Testbed(Backend backend, HostParams host_params,
       sim_(seed),
       fabric_(sim_.queue())
 {
+    faults_ = std::make_unique<vi::FaultInjector>(sim_, fabric_);
     host_ = std::make_unique<osmodel::Node>(
         sim_, osmodel::NodeConfig{"db", host_params.cpus,
                                   host_params.costs,
@@ -150,8 +151,33 @@ Testbed::Testbed(Backend backend, HostParams host_params,
         children.push_back(clients_.back().get());
         servers_.push_back(std::move(server));
     }
-    striped_ = std::make_unique<dsa::StripedDevice>(
-        children, storage_params_.stripe_unit);
+
+    if (storage_params_.mirrored) {
+        // RAID-10: adjacent nodes pair into mirrors, the volume
+        // stripes across the pairs.
+        assert(storage_params_.v3_nodes % 2 == 0 &&
+               "mirroring pairs nodes; v3_nodes must be even");
+        std::vector<dsa::BlockDevice *> stripe_children;
+        for (size_t pair = 0; pair + 1 < children.size(); pair += 2) {
+            dsa::MirrorConfig mirror_config = storage_params_.mirror;
+            mirror_config.name =
+                "m" + std::to_string(pair / 2);
+            std::vector<dsa::MirrorReplica> legs;
+            legs.push_back(dsa::MirrorReplica::forClient(
+                *clients_[pair]));
+            legs.push_back(dsa::MirrorReplica::forClient(
+                *clients_[pair + 1]));
+            mirrors_.push_back(std::make_unique<dsa::MirroredDevice>(
+                sim_, host_->memory(), std::move(legs),
+                mirror_config));
+            stripe_children.push_back(mirrors_.back().get());
+        }
+        striped_ = std::make_unique<dsa::StripedDevice>(
+            stripe_children, storage_params_.stripe_unit);
+    } else {
+        striped_ = std::make_unique<dsa::StripedDevice>(
+            children, storage_params_.stripe_unit);
+    }
     device_ = striped_.get();
 }
 

@@ -9,7 +9,14 @@
  *  - Kdsa / Wdsa / Cdsa: one or more V3 storage nodes reached over
  *    the VI fabric, one client NIC per storage node (the paper's
  *    NIC-per-node pairing), with the database volume striped across
- *    nodes.
+ *    nodes. With StorageParams::mirrored the nodes pair up into
+ *    dsa::MirroredDevice replicas and the volume stripes across the
+ *    mirrors (RAID-10), so availability experiments can crash nodes
+ *    via faults() while I/O continues.
+ *
+ * Every testbed owns a vi::FaultInjector over its fabric (faults()),
+ * so experiments can script packet loss, connection breaks and
+ * node crash/restart schedules without extra wiring.
  *
  * Scaling note (documented in DESIGN.md): TPC-C testbeds shrink the
  * working set and server caches by a common factor so the simulation
@@ -31,10 +38,12 @@
 #include "dsa/block_device.hh"
 #include "dsa/dsa_client.hh"
 #include "dsa/local_backend.hh"
+#include "dsa/mirrored_device.hh"
 #include "net/fabric.hh"
 #include "osmodel/node.hh"
 #include "sim/simulation.hh"
 #include "storage/v3_server.hh"
+#include "vi/fault_injector.hh"
 
 namespace v3sim::scenarios
 {
@@ -78,6 +87,11 @@ struct StorageParams
     int local_disks = 0;
     uint32_t request_credits = 64;
     uint32_t staging_slots = 32;
+
+    /** Pair the V3 nodes into mirrors (RAID-1) and stripe across the
+     *  pairs (RAID-10). Requires an even v3_nodes. */
+    bool mirrored = false;
+    dsa::MirrorConfig mirror;
 
     /** Mid-size: 4 nodes x 15 SCSI disks, 1.6 GB cache per node
      *  (scaled by kTpccScale). */
@@ -128,6 +142,15 @@ class Testbed
 
     dsa::LocalBackend *local() { return local_.get(); }
 
+    /** Mirror pairs (empty unless StorageParams::mirrored). */
+    std::vector<std::unique_ptr<dsa::MirroredDevice>> &mirrors()
+    {
+        return mirrors_;
+    }
+
+    /** Fault injector over this testbed's fabric. */
+    vi::FaultInjector &faults() { return *faults_; }
+
     /** Read hit ratio across all V3 server caches. */
     double serverCacheHitRatio() const;
 
@@ -137,7 +160,9 @@ class Testbed
     /** Interrupts taken on the host since construction. */
     uint64_t hostInterrupts() const;
 
-    /** Resets all statistics (host CPUs, clients, servers, disks). */
+    /** Starts a fresh metric epoch: every metric registered with the
+     *  simulation's MetricRegistry (clients, servers, caches, disks,
+     *  NICs, CPU pools, fault injector) resets at once. */
     void resetStats();
 
   private:
@@ -145,11 +170,13 @@ class Testbed
     StorageParams storage_params_;
     sim::Simulation sim_;
     net::Fabric fabric_;
+    std::unique_ptr<vi::FaultInjector> faults_;
     std::unique_ptr<osmodel::Node> host_;
 
     std::vector<std::unique_ptr<storage::V3Server>> servers_;
     std::vector<std::unique_ptr<vi::ViNic>> nics_;
     std::vector<std::unique_ptr<dsa::DsaClient>> clients_;
+    std::vector<std::unique_ptr<dsa::MirroredDevice>> mirrors_;
     std::unique_ptr<dsa::StripedDevice> striped_;
 
     std::vector<std::unique_ptr<disk::Disk>> local_disks_;

@@ -101,6 +101,20 @@ LruCache::invalidate(CacheKey key)
     map_.erase(it);
 }
 
+void
+LruCache::invalidateAll()
+{
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->pins > 0) {
+            ++it;
+            continue;
+        }
+        free_frames_.push_back(it->frame);
+        map_.erase(it->key);
+        it = lru_.erase(it);
+    }
+}
+
 bool
 LruCache::contains(CacheKey key) const
 {

@@ -91,6 +91,15 @@ class BlockCache
     /** Removes the block if resident and unpinned. */
     virtual void invalidate(CacheKey key) = 0;
 
+    /**
+     * Drops every unpinned resident block — the cache comes back
+     * cold, as after a node crash (the paper's V3 cache is volatile
+     * main memory; section 2.1). Pinned frames survive because
+     * in-flight DMA may still reference them; the server drains those
+     * requests separately on crash.
+     */
+    virtual void invalidateAll() = 0;
+
     /** Residency check without touching recency state. */
     virtual bool contains(CacheKey key) const = 0;
 
@@ -174,6 +183,7 @@ class LruCache : public BlockCache
     std::optional<sim::Addr> insertAndPin(CacheKey key) override;
     void unpin(CacheKey key) override;
     void invalidate(CacheKey key) override;
+    void invalidateAll() override;
     bool contains(CacheKey key) const override;
     uint64_t residentBlocks() const override { return map_.size(); }
 

@@ -172,6 +172,26 @@ MqCache::invalidate(CacheKey key)
     map_.erase(it);
 }
 
+void
+MqCache::invalidateAll()
+{
+    for (auto &queue : queues_) {
+        for (auto it = queue.begin(); it != queue.end();) {
+            if (it->pins > 0) {
+                ++it;
+                continue;
+            }
+            free_frames_.push_back(it->frame);
+            map_.erase(it->key);
+            it = queue.erase(it);
+        }
+    }
+    // A crash also forgets ghost history: the restarted node has no
+    // memory of pre-crash access frequencies.
+    ghost_map_.clear();
+    ghost_fifo_.clear();
+}
+
 bool
 MqCache::contains(CacheKey key) const
 {

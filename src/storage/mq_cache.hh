@@ -66,6 +66,7 @@ class MqCache : public BlockCache
     std::optional<sim::Addr> insertAndPin(CacheKey key) override;
     void unpin(CacheKey key) override;
     void invalidate(CacheKey key) override;
+    void invalidateAll() override;
     bool contains(CacheKey key) const override;
     uint64_t residentBlocks() const override { return map_.size(); }
 

@@ -35,6 +35,7 @@ constexpr uint64_t kSector = disk::DiskStore::kSectorSize;
 V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
                    V3ServerConfig config)
     : sim_(sim),
+      fabric_(fabric),
       config_(std::move(config)),
       node_(sim, osmodel::NodeConfig{config_.name, config_.cpus,
                                      config_.host_costs,
@@ -49,6 +50,8 @@ V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
           sim.metrics().counter(metric_prefix_ + ".prefetched")),
       retransmit_hits_(
           sim.metrics().counter(metric_prefix_ + ".retransmit_hits")),
+      crashes_(sim.metrics().counter(metric_prefix_ + ".crashes")),
+      restarts_(sim.metrics().counter(metric_prefix_ + ".restarts")),
       server_time_(
           sim.metrics().sampler(metric_prefix_ + ".server_time_ns"))
 {
@@ -95,9 +98,74 @@ V3Server::start()
         });
 }
 
+void
+V3Server::crash()
+{
+    if (crashed_)
+        return;
+    crashed_ = true;
+    crashes_.increment();
+    V3LOG(Info, "v3") << config_.name << ": node crash";
+
+    // The NIC leaves the fabric: nothing in or out, and packets
+    // already propagating towards the node are lost.
+    fabric_.setPortUp(nic_->port(), false);
+
+    // Every connection dies. breakConnection flushes posted receives
+    // with error status, which pops each serviceLoop out of its CQ
+    // wait; alive=false makes handlers already past the CQ drop
+    // their completions (postCompletion checks it) and abandon
+    // writes before the disk commit.
+    for (auto &conn : connections_) {
+        if (!conn->alive)
+            continue;
+        conn->alive = false;
+        nic_->breakConnection(*conn->ep);
+        releaseConnection(*conn);
+    }
+
+    // Volatile cache contents are gone (section 2.1: main-memory
+    // buffer cache). Pinned frames are skipped — in-flight DMA — but
+    // their requests can no longer complete towards any client.
+    if (cache_)
+        cache_->invalidateAll();
+}
+
+void
+V3Server::restart()
+{
+    if (!crashed_)
+        return;
+    crashed_ = false;
+    restarts_.increment();
+    V3LOG(Info, "v3") << config_.name << ": node restart";
+    // Cold restart: port back up; the accept handler from start() is
+    // still armed, so new connections are admitted immediately. The
+    // cache is already empty from crash().
+    fabric_.setPortUp(nic_->port(), true);
+}
+
+void
+V3Server::releaseConnection(Connection &conn)
+{
+    if (conn.released)
+        return;
+    conn.released = true;
+    // Registration capacity is the scarce server resource (section
+    // 3.1): every abandoned connection must give its slice back, or
+    // reconnect churn eventually exhausts the NIC and the node
+    // refuses all new clients.
+    nic_->registry().deregister(conn.req_buf_handle);
+    nic_->registry().deregister(conn.reply_handle);
+    nic_->registry().deregister(conn.flag_handle);
+    nic_->registry().deregister(conn.staging_handle);
+}
+
 vi::ViEndpoint *
 V3Server::accept(net::PortId, vi::EndpointId)
 {
+    if (crashed_)
+        return nullptr; // a down node accepts nothing
     auto conn = std::make_unique<Connection>();
     conn->id = static_cast<uint32_t>(connections_.size());
     const std::string base =
@@ -175,8 +243,12 @@ V3Server::serviceLoop(Connection &conn)
         vi::WorkCompletion completion =
             co_await conn.recv_cq->next();
         if (completion.status != vi::WorkStatus::Ok) {
-            // Connection torn down; stop servicing.
+            // Connection torn down (peer disconnect, connection
+            // break, or node crash): stop servicing and return the
+            // registrations so abandoned connections don't leak NIC
+            // capacity across client reconnections.
             conn.alive = false;
+            releaseConnection(conn);
             co_return;
         }
         if (!completion.control)
@@ -568,6 +640,11 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
             }
         }
     }
+
+    // A crash between staging and commit loses the write: the node
+    // is fail-stop, so nothing may reach disk after the cache died.
+    if (!conn.alive)
+        co_return false;
 
     // Commit to disk before completing (durability, section 5.2).
     co_await lease.run(config_.disk_sched_cost, CpuCat::Other);

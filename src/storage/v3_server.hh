@@ -32,6 +32,17 @@
  * request-level retransmission: completed sequence numbers are
  * remembered per connection until the client's piggybacked ack
  * watermark passes them.
+ *
+ * Node failure (vi::NodeFaultTarget): crash() models a fail-stop
+ * node — the NIC port goes down on the fabric, every connection is
+ * torn down, their NIC registrations are released, and the volatile
+ * block cache is dropped; disks (persistent) survive. restart()
+ * brings the node back cold and re-listening on the same port;
+ * clients reconnect and dsa::MirroredDevice resyncs what the node
+ * missed. This extends the paper's reliability story (§2.2 — DSA
+ * adds "flow control, retransmission and reconnection") from link
+ * faults to whole-node faults, the failure class a storage *cluster*
+ * (§1) must survive.
  */
 
 #ifndef V3SIM_STORAGE_V3_SERVER_HH
@@ -54,6 +65,7 @@
 #include "storage/disk_manager.hh"
 #include "storage/mq_cache.hh"
 #include "storage/volume_manager.hh"
+#include "vi/fault_injector.hh"
 #include "vi/vi_nic.hh"
 
 namespace v3sim::storage
@@ -109,7 +121,7 @@ struct V3ServerConfig
 };
 
 /** One V3 storage node. */
-class V3Server
+class V3Server : public vi::NodeFaultTarget
 {
   public:
     V3Server(sim::Simulation &sim, net::Fabric &fabric,
@@ -131,12 +143,33 @@ class V3Server
      */
     void start();
 
+    /**
+     * Fail-stop crash: the NIC port leaves the fabric (in-flight
+     * packets to/from it vanish), every connection dies silently —
+     * peers find out via retransmission timeouts, as with a real
+     * crash — their NIC registrations are released, and the volatile
+     * cache is dropped. Disk contents persist. Idempotent.
+     */
+    void crash() override;
+
+    /**
+     * Cold restart: the port comes back up and the accept handler
+     * (still armed from start()) admits fresh connections. The cache
+     * starts empty; clients must reconnect and replay. Idempotent.
+     */
+    void restart() override;
+
+    /** True while crashed (between crash() and restart()). */
+    bool crashed() const { return crashed_; }
+
     /** @name Statistics @{ */
     uint64_t readCount() const { return reads_.value(); }
     uint64_t writeCount() const { return writes_.value(); }
     uint64_t hintCount() const { return hints_.value(); }
     uint64_t prefetchedBlocks() const { return prefetched_.value(); }
     uint64_t retransmitHits() const { return retransmit_hits_.value(); }
+    uint64_t crashCount() const { return crashes_.value(); }
+    uint64_t restartCount() const { return restarts_.value(); }
 
     /** Server-resident time per request: arrival at the request
      *  manager to completion post (the Figure 4 "V3 Storage Server"
@@ -149,6 +182,9 @@ class V3Server
         return cache_ ? cache_->hitRatio() : 0.0;
     }
 
+    /** Zeroes this server's registry-owned metrics (crash/restart
+     *  counters included). Prefer `MetricRegistry::resetEpoch()` for
+     *  stack-wide measurement windows. */
     void resetStats();
     /** @} */
 
@@ -181,6 +217,8 @@ class V3Server
         enum class SeqState : uint8_t { InProgress, DoneOk, DoneFail };
         std::unordered_map<uint64_t, SeqState> seqs;
         bool alive = true;
+        /** NIC registrations already returned (releaseConnection). */
+        bool released = false;
     };
 
     /** Accept hook: allocates a Connection and its endpoint. */
@@ -189,6 +227,11 @@ class V3Server
 
     /** Drains one connection's receive CQ forever. */
     sim::Task<> serviceLoop(Connection &conn);
+
+    /** Returns a dead connection's NIC registrations (idempotent).
+     *  The buffers themselves are kept: in-flight handler coroutines
+     *  may still read staging/reply memory while unwinding. */
+    void releaseConnection(Connection &conn);
 
     /** Dispatches one request message. */
     sim::Task<> handleRequest(Connection &conn, dsa::RequestMsg req,
@@ -228,6 +271,7 @@ class V3Server
     static void pruneSeqs(Connection &conn, uint64_t ack_below);
 
     sim::Simulation &sim_;
+    net::Fabric &fabric_;
     V3ServerConfig config_;
     osmodel::Node node_;
     std::unique_ptr<vi::ViNic> nic_;
@@ -237,6 +281,7 @@ class V3Server
     vi::MemHandle cache_handle_;
 
     std::vector<std::unique_ptr<Connection>> connections_;
+    bool crashed_ = false;
 
     /** Blocks currently being read from disk (miss coalescing). */
     std::unordered_map<CacheKey, std::unique_ptr<sim::CondEvent>,
@@ -252,6 +297,8 @@ class V3Server
     sim::Counter &hints_;
     sim::Counter &prefetched_;
     sim::Counter &retransmit_hits_;
+    sim::Counter &crashes_;
+    sim::Counter &restarts_;
     sim::Sampler &server_time_;
 };
 

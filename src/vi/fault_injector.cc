@@ -4,7 +4,14 @@ namespace v3sim::vi
 {
 
 FaultInjector::FaultInjector(sim::Simulation &sim, net::Fabric &fabric)
-    : sim_(sim), fabric_(fabric), rng_(sim.forkRng())
+    : sim_(sim), fabric_(fabric),
+      metric_prefix_(sim.metrics().uniquePrefix("fault")),
+      dropped_(sim.metrics().counter(metric_prefix_ + ".dropped")),
+      breaks_(sim.metrics().counter(metric_prefix_ + ".breaks")),
+      node_crashes_(
+          sim.metrics().counter(metric_prefix_ + ".node_crashes")),
+      node_restarts_(
+          sim.metrics().counter(metric_prefix_ + ".node_restarts"))
 {
     fabric_.setDropFilter([this](const net::Packet &packet) {
         return shouldDrop(packet);
@@ -27,6 +34,8 @@ void
 FaultInjector::setLossRate(double p)
 {
     loss_rate_ = p;
+    if (p > 0.0 && !rng_.has_value())
+        rng_ = sim_.forkRng();
 }
 
 void
@@ -45,6 +54,33 @@ FaultInjector::scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep)
             nic.breakConnection(*endpoint);
         }
     });
+}
+
+void
+FaultInjector::scheduleNodeCrash(sim::Tick when, NodeFaultTarget &node)
+{
+    sim_.queue().scheduleAt(when, [this, &node] {
+        node_crashes_.increment();
+        node.crash();
+    });
+}
+
+void
+FaultInjector::scheduleNodeRestart(sim::Tick when,
+                                   NodeFaultTarget &node)
+{
+    sim_.queue().scheduleAt(when, [this, &node] {
+        node_restarts_.increment();
+        node.restart();
+    });
+}
+
+void
+FaultInjector::scheduleNodeOutage(sim::Tick from, sim::Tick until,
+                                  NodeFaultTarget &node)
+{
+    scheduleNodeCrash(from, node);
+    scheduleNodeRestart(until, node);
 }
 
 void
@@ -67,7 +103,7 @@ FaultInjector::shouldDrop(const net::Packet &packet)
         --drop_next_;
         drop = true;
     }
-    if (!drop && loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_))
+    if (!drop && loss_rate_ > 0.0 && rng_->bernoulli(loss_rate_))
         drop = true;
     if (!drop && sim_.now() >= blackout_from_ &&
         sim_.now() < blackout_until_) {

@@ -7,15 +7,22 @@
  * reliability guarantees"), so exercising loss and failure paths is
  * first-class in this reproduction. The injector composes the common
  * patterns over the fabric's drop filter and the NIC's
- * connection-break hook:
+ * connection-break hook, in escalating order of severity:
  *
  *  - dropNext(n): lose the next n packets (optionally one direction);
  *  - lossRate(p): Bernoulli loss until cleared;
  *  - blackout(from, until): total loss inside a time window;
- *  - scheduleBreak(t, nic, ep): silent connection kill at time t.
+ *  - scheduleBreak(t, nic, ep): silent connection kill at time t;
+ *  - scheduleNodeCrash/Restart/Outage(t, node): whole-node failure —
+ *    the node drops its volatile state and leaves the fabric, then
+ *    (optionally) comes back cold. Targets implement NodeFaultTarget
+ *    so the injector stays independent of the storage layer.
  *
  * All active rules apply simultaneously (a packet is dropped if any
- * rule says so); statistics record what was injected.
+ * rule says so). Statistics go into the simulation's MetricRegistry
+ * under a unique "fault" prefix (dropped, breaks, node_crashes,
+ * node_restarts) so availability experiments can snapshot what was
+ * injected alongside what the system did about it.
  */
 
 #ifndef V3SIM_VI_FAULT_INJECTOR_HH
@@ -23,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "net/fabric.hh"
 #include "sim/random.hh"
@@ -32,6 +40,20 @@
 
 namespace v3sim::vi
 {
+
+/**
+ * A node the injector can crash and restart. Implemented by
+ * storage::V3Server (declared here so vi does not depend on storage).
+ * crash() must be idempotent and drop all volatile state; restart()
+ * must bring the node back cold and re-listening.
+ */
+class NodeFaultTarget
+{
+  public:
+    virtual ~NodeFaultTarget() = default;
+    virtual void crash() = 0;
+    virtual void restart() = 0;
+};
 
 /** Composable fault patterns over one fabric. */
 class FaultInjector
@@ -64,7 +86,20 @@ class FaultInjector
     /** Schedules a silent connection break at absolute time @p when. */
     void scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep);
 
-    /** Removes every active rule (scheduled breaks still fire). */
+    /** Schedules @p node.crash() at absolute time @p when. */
+    void scheduleNodeCrash(sim::Tick when, NodeFaultTarget &node);
+
+    /** Schedules @p node.restart() at absolute time @p when. */
+    void scheduleNodeRestart(sim::Tick when, NodeFaultTarget &node);
+
+    /**
+     * Convenience: crash at @p from, restart at @p until — the
+     * scripted availability window the bench and tests use.
+     */
+    void scheduleNodeOutage(sim::Tick from, sim::Tick until,
+                            NodeFaultTarget &node);
+
+    /** Removes every active drop rule (scheduled events still fire). */
     void clear();
 
     /** Packets dropped by this injector. */
@@ -73,12 +108,21 @@ class FaultInjector
     /** Connection breaks executed. */
     uint64_t breakCount() const { return breaks_.value(); }
 
+    /** Node crashes executed. */
+    uint64_t nodeCrashCount() const { return node_crashes_.value(); }
+
+    /** Node restarts executed. */
+    uint64_t nodeRestartCount() const { return node_restarts_.value(); }
+
   private:
     bool shouldDrop(const net::Packet &packet);
 
     sim::Simulation &sim_;
     net::Fabric &fabric_;
-    sim::Rng rng_;
+    /** Forked lazily on the first setLossRate: an idle injector must
+     *  not consume an RNG stream, or merely constructing one would
+     *  perturb every fault-free scenario's randomness. */
+    std::optional<sim::Rng> rng_;
 
     int drop_next_ = 0;
     std::optional<net::PortId> drop_towards_;
@@ -86,8 +130,12 @@ class FaultInjector
     sim::Tick blackout_from_ = 0;
     sim::Tick blackout_until_ = 0;
 
-    sim::Counter dropped_;
-    sim::Counter breaks_;
+    // Prefix member must precede the metric references (init order).
+    std::string metric_prefix_;
+    sim::Counter &dropped_;
+    sim::Counter &breaks_;
+    sim::Counter &node_crashes_;
+    sim::Counter &node_restarts_;
 };
 
 } // namespace v3sim::vi

@@ -62,7 +62,7 @@ MemoryRegistry::registerMemory(sim::Addr addr, uint64_t len,
         cost += static_cast<sim::Tick>(sim::pageSpan(addr, len)) *
                 costs_.page_pin;
 
-    by_addr_[addr] = slot;
+    by_addr_.emplace(addr, slot);
 
     RegResult result;
     result.handle = MemHandle{slot, entry.generation};
@@ -86,9 +86,7 @@ MemoryRegistry::deregister(MemHandle handle)
                     sim::pageSpan(entry.addr, entry.len)) *
                 costs_.page_pin;
 
-    auto it = by_addr_.find(entry.addr);
-    if (it != by_addr_.end() && it->second == handle.slot)
-        by_addr_.erase(it);
+    eraseByAddr(entry.addr, handle.slot);
     registered_bytes_ -= entry.len;
     --live_entries_;
     entry = Entry{};
@@ -120,9 +118,7 @@ MemoryRegistry::deregisterRegion(uint32_t region)
                     sim::pageSpan(entry.addr, entry.len)) *
                 costs_.page_pin;
         }
-        auto it = by_addr_.find(entry.addr);
-        if (it != by_addr_.end() && it->second == slot)
-            by_addr_.erase(it);
+        eraseByAddr(entry.addr, slot);
         registered_bytes_ -= entry.len;
         --live_entries_;
         entry = Entry{};
@@ -154,16 +150,39 @@ MemoryRegistry::anyCovers(sim::Addr addr, uint64_t len) const
     if (it == by_addr_.begin())
         return false;
     --it;
-    const Entry &entry = table_[it->second];
-    return entry.in_use && addr >= entry.addr &&
-           addr - entry.addr <= entry.len &&
-           len <= entry.len - (addr - entry.addr);
+    // Every entry sharing the closest base address gets a look: the
+    // same buffer can carry several live registrations with
+    // different lengths.
+    const sim::Addr base = it->first;
+    for (; it->first == base; --it) {
+        const Entry &entry = table_[it->second];
+        if (entry.in_use && addr >= entry.addr &&
+            addr - entry.addr <= entry.len &&
+            len <= entry.len - (addr - entry.addr)) {
+            return true;
+        }
+        if (it == by_addr_.begin())
+            break;
+    }
+    return false;
 }
 
 uint32_t
 MemoryRegistry::regionOf(MemHandle handle) const
 {
     return handle.slot / region_entries_;
+}
+
+void
+MemoryRegistry::eraseByAddr(sim::Addr addr, uint32_t slot)
+{
+    auto [first, last] = by_addr_.equal_range(addr);
+    for (auto it = first; it != last; ++it) {
+        if (it->second == slot) {
+            by_addr_.erase(it);
+            return;
+        }
+    }
 }
 
 void

@@ -143,6 +143,9 @@ class MemoryRegistry
     /** Advances the cursor to a free slot; false if table full. */
     bool findFreeSlot(uint32_t *slot);
 
+    /** Removes one (addr, slot) pair from the address index. */
+    void eraseByAddr(sim::Addr addr, uint32_t slot);
+
     /** Stored by value: callers may pass temporaries. */
     ViCosts costs_;
     uint32_t region_entries_;
@@ -153,9 +156,11 @@ class MemoryRegistry
     uint64_t peak_bytes_ = 0;
     uint64_t next_generation_ = 1;
     /** Live entries indexed by base address for O(log n) RDMA-target
-     *  validation. Registered buffers never overlap in practice; a
-     *  duplicate base address keeps the newest entry. */
-    std::map<sim::Addr, uint32_t> by_addr_;
+     *  validation. A multimap: the same buffer may be registered by
+     *  several in-flight I/Os at once (wDSA registers per I/O), and
+     *  one completion deregistering its entry must not invalidate the
+     *  siblings still covering the address. */
+    std::multimap<sim::Addr, uint32_t> by_addr_;
 
     sim::Counter registrations_;
     sim::Counter deregistrations_;

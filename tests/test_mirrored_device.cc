@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for dsa::MirroredDevice: write duplication, round-robin
+ * reads, failover on node crash, background resync, readmission,
+ * and end-to-end data correctness of a resynced replica.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenarios/testbed.hh"
+
+namespace v3sim::dsa
+{
+namespace
+{
+
+using scenarios::Backend;
+using scenarios::HostParams;
+using scenarios::StorageParams;
+using scenarios::Testbed;
+using sim::Addr;
+using sim::Task;
+
+constexpr uint64_t kIo = 8192;
+
+/** A mirrored 2-node testbed with failure detection fast enough
+ *  that a client declares its node dead well inside the scripted
+ *  outage windows the tests use. */
+class MirroredDeviceTest : public ::testing::Test
+{
+  protected:
+    MirroredDeviceTest()
+    {
+        dsa::DsaConfig dsa_config;
+        dsa_config.retransmit_timeout = sim::msecs(12);
+        dsa_config.max_retransmits = 1;
+        dsa_config.reconnect_delay = sim::msecs(1);
+        dsa_config.max_reconnect_attempts = 2;
+        dsa_config.connect_timeout = sim::msecs(3);
+
+        StorageParams storage_params;
+        storage_params.v3_nodes = 2;
+        storage_params.disks_per_node = 2;
+        storage_params.cache_bytes_per_node = 4 * util::kMiB;
+        storage_params.mirrored = true;
+        storage_params.mirror.probe_interval = sim::msecs(2);
+
+        bed_ = std::make_unique<Testbed>(
+            Backend::Cdsa, HostParams::midSize(), storage_params,
+            dsa_config, /*seed=*/11);
+        EXPECT_TRUE(bed_->connectAll());
+        buffer_ = bed_->host().memory().allocate(kIo);
+    }
+
+    MirroredDevice &mirror() { return *bed_->mirrors().front(); }
+
+    storage::V3Server &server(size_t n)
+    {
+        return *bed_->servers()[n];
+    }
+
+    /** Runs @p count sequential I/Os (every third a write); returns
+     *  how many succeeded. Bounded with runUntil rather than run():
+     *  a down replica's resync task probes it forever, so the event
+     *  queue never empties while a node stays crashed. */
+    int
+    runIos(int count, sim::Tick bound = sim::msecs(2000))
+    {
+        int succeeded = 0;
+        sim::spawn([](sim::Simulation &s, BlockDevice &device,
+                      Addr buf, int n, int &out) -> Task<> {
+            for (int i = 0; i < n; ++i) {
+                const uint64_t offset =
+                    static_cast<uint64_t>(i % 16) * kIo;
+                const bool ok =
+                    i % 3 == 0
+                        ? co_await device.write(offset, kIo, buf)
+                        : co_await device.read(offset, kIo, buf);
+                if (ok)
+                    ++out;
+                co_await s.sleep(sim::usecs(500));
+            }
+        }(bed_->sim(), bed_->device(), buffer_, count, succeeded));
+        bed_->sim().runUntil(bed_->sim().now() + bound);
+        return succeeded;
+    }
+
+    /** One I/O through the mirror; returns its status. */
+    bool
+    oneIo(bool write, uint64_t offset, Addr buf)
+    {
+        bool ok = false;
+        sim::spawn([](BlockDevice &device, bool w, uint64_t off,
+                      Addr b, bool &out) -> Task<> {
+            out = w ? co_await device.write(off, kIo, b)
+                    : co_await device.read(off, kIo, b);
+        }(bed_->device(), write, offset, buf, ok));
+        bed_->sim().runUntil(bed_->sim().now() + sim::msecs(200));
+        return ok;
+    }
+
+    Addr
+    patternBuffer(uint8_t salt)
+    {
+        const Addr buffer = bed_->host().memory().allocate(kIo);
+        std::vector<uint8_t> data(kIo);
+        for (uint64_t i = 0; i < kIo; ++i)
+            data[i] = static_cast<uint8_t>((i * 7 + salt) & 0xFF);
+        bed_->host().memory().write(buffer, data.data(), kIo);
+        return buffer;
+    }
+
+    bool
+    checkPattern(Addr buffer, uint8_t salt)
+    {
+        std::vector<uint8_t> data(kIo);
+        bed_->host().memory().read(buffer, data.data(), kIo);
+        for (uint64_t i = 0; i < kIo; ++i) {
+            if (data[i] !=
+                static_cast<uint8_t>((i * 7 + salt) & 0xFF)) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::unique_ptr<Testbed> bed_;
+    Addr buffer_ = sim::kNullAddr;
+};
+
+TEST_F(MirroredDeviceTest, WritesDuplicateAndReadsRoundRobin)
+{
+    EXPECT_EQ(runIos(30), 30);
+
+    // 10 of the 30 I/Os are writes: every replica applied each one.
+    EXPECT_EQ(server(0).writeCount(), 10u);
+    EXPECT_EQ(server(1).writeCount(), 10u);
+
+    // The 20 reads round-robin across both replicas.
+    EXPECT_EQ(server(0).readCount() + server(1).readCount(), 20u);
+    EXPECT_GT(server(0).readCount(), 0u);
+    EXPECT_GT(server(1).readCount(), 0u);
+
+    EXPECT_EQ(mirror().activeReplicas(), 2u);
+    EXPECT_FALSE(mirror().degraded());
+    EXPECT_EQ(mirror().failoverCount(), 0u);
+}
+
+TEST_F(MirroredDeviceTest, NodeCrashFailoverResyncReadmit)
+{
+    // Crash node 0 shortly into the workload, restart it while the
+    // workload is still running. Client-side death takes at most
+    // ~12*2 (retransmit exhaustion) + 2*(3+1) ms (reconnect
+    // attempts), well inside the 60 ms outage.
+    bed_->faults().scheduleNodeOutage(
+        bed_->sim().now() + sim::msecs(5),
+        bed_->sim().now() + sim::msecs(65), server(0));
+
+    // ~150 ms of I/O: outage, degraded operation, resync, readmit.
+    EXPECT_EQ(runIos(100), 100);
+
+    EXPECT_EQ(server(0).crashCount(), 1u);
+    EXPECT_EQ(server(0).restartCount(), 1u);
+    EXPECT_GE(mirror().failoverCount(), 1u);
+    EXPECT_EQ(mirror().readmitCount(), 1u);
+    EXPECT_EQ(mirror().activeReplicas(), 2u);
+    EXPECT_FALSE(mirror().degraded());
+    EXPECT_EQ(mirror().dirtyBytes(), 0u);
+    EXPECT_GT(mirror().resyncBytes(), 0u);
+}
+
+TEST_F(MirroredDeviceTest, ResyncedReplicaServesLatestData)
+{
+    // Seed every block with pattern A, mirrored to both nodes.
+    const Addr buf_a = patternBuffer(1);
+    for (uint64_t b = 0; b < 8; ++b)
+        EXPECT_TRUE(oneIo(true, b * kIo, buf_a));
+
+    // Crash node 0 and let its client die (a read cycles through it).
+    server(0).crash();
+    EXPECT_EQ(runIos(12), 12);
+    ASSERT_TRUE(mirror().degraded());
+
+    // Overwrite half the blocks with pattern B while degraded: only
+    // the survivor sees these, the mirror logs them dirty.
+    const Addr buf_b = patternBuffer(2);
+    for (uint64_t b = 0; b < 4; ++b)
+        EXPECT_TRUE(oneIo(true, b * kIo, buf_b));
+    EXPECT_GT(mirror().dirtyBytes(), 0u);
+
+    // Restart; background resync replays the missed writes and
+    // readmits the node. Idle time only — no foreground I/O.
+    server(0).restart();
+    bed_->sim().runUntil(bed_->sim().now() + sim::msecs(200));
+    ASSERT_EQ(mirror().readmitCount(), 1u);
+    ASSERT_EQ(mirror().dirtyBytes(), 0u);
+
+    // Kill the survivor: reads can now only come from the resynced
+    // node 1... which must serve pattern B, not the stale pattern A.
+    server(1).crash();
+    const Addr rbuf = bed_->host().memory().allocate(kIo);
+    for (uint64_t b = 0; b < 4; ++b) {
+        ASSERT_TRUE(oneIo(false, b * kIo, rbuf));
+        EXPECT_TRUE(checkPattern(rbuf, 2)) << "stale block " << b;
+    }
+    for (uint64_t b = 4; b < 8; ++b) {
+        ASSERT_TRUE(oneIo(false, b * kIo, rbuf));
+        EXPECT_TRUE(checkPattern(rbuf, 1)) << "stale block " << b;
+    }
+}
+
+} // namespace
+} // namespace v3sim::dsa
