@@ -1,5 +1,6 @@
 #include "disk.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -36,6 +37,12 @@ DiskStore::writeFrom(uint64_t offset, uint64_t len,
         return false;
     if (!mem.contains(addr, len))
         return false;
+    // Overwriting heals corruption marks — even in phantom mode,
+    // where the marks are the only record of the damage.
+    if (!corrupt_sectors_.empty()) {
+        for (uint64_t done = 0; done < len; done += kSectorSize)
+            corrupt_sectors_.erase((offset + done) / kSectorSize);
+    }
     if (phantom_ || mem.phantom())
         return true;
     for (uint64_t done = 0; done < len; done += kSectorSize) {
@@ -43,6 +50,40 @@ DiskStore::writeFrom(uint64_t offset, uint64_t len,
         mem.read(addr + done, sector.data(), kSectorSize);
     }
     return true;
+}
+
+void
+DiskStore::markCorrupt(uint64_t offset, uint64_t len)
+{
+    if (len == 0)
+        return;
+    const uint64_t first = offset / kSectorSize;
+    const uint64_t last = (offset + len - 1) / kSectorSize;
+    for (uint64_t s = first; s <= last; ++s) {
+        corrupt_sectors_.insert(s);
+        if (!phantom_) {
+            // Flip a byte so readInto really returns damaged data;
+            // touching an unwritten sector materializes it as a
+            // nonzero sector, which differs from the zeros it would
+            // have read as.
+            Sector &sector = sectors_[s];
+            sector[kSectorSize / 2] ^= 0x40;
+        }
+    }
+}
+
+bool
+DiskStore::rangeCorrupt(uint64_t offset, uint64_t len) const
+{
+    if (len == 0 || corrupt_sectors_.empty())
+        return false;
+    const uint64_t first = offset / kSectorSize;
+    const uint64_t last = (offset + len - 1) / kSectorSize;
+    for (uint64_t s = first; s <= last; ++s) {
+        if (corrupt_sectors_.count(s))
+            return true;
+    }
+    return false;
 }
 
 Disk::Disk(sim::Simulation &sim, DiskSpec spec, sim::Rng rng,
@@ -58,7 +99,11 @@ Disk::Disk(sim::Simulation &sim, DiskSpec spec, sim::Rng rng,
       service_stats_(
           sim.metrics().sampler(metric_prefix_ + ".service_ns")),
       latency_stats_(
-          sim.metrics().sampler(metric_prefix_ + ".latency_ns"))
+          sim.metrics().sampler(metric_prefix_ + ".latency_ns")),
+      latent_errors_(
+          sim.metrics().counter(metric_prefix_ + ".latent_errors")),
+      torn_writes_(
+          sim.metrics().counter(metric_prefix_ + ".torn_writes"))
 {
     busy_integral_.reset(sim_.now(), 0.0);
     sim.metrics().gauge(metric_prefix_ + ".utilization",
@@ -98,6 +143,42 @@ Disk::write(uint64_t offset, uint64_t len)
     sim::Completion<> completion;
     submit(offset, len, true, [&completion] { completion.set(); });
     co_await completion.wait();
+}
+
+bool
+Disk::commitWrite(uint64_t offset, uint64_t len,
+                  const sim::MemorySpace &mem, sim::Addr addr)
+{
+    const bool ok = store_.writeFrom(offset, len, mem, addr);
+    if (ok && torn_write_rate_ > 0.0 &&
+        torn_rng_->bernoulli(torn_write_rate_)) {
+        // Power-cut model: the leading sectors reached the platter,
+        // the tail did not. Damage the tail half (a one-sector write
+        // tears whole).
+        const uint64_t sectors =
+            std::max<uint64_t>(len / DiskStore::kSectorSize, 1);
+        const uint64_t good = sectors / 2;
+        const uint64_t torn_off =
+            offset + good * DiskStore::kSectorSize;
+        store_.markCorrupt(torn_off, offset + len - torn_off);
+        torn_writes_.increment();
+    }
+    return ok;
+}
+
+void
+Disk::injectLatentError(uint64_t offset, uint64_t len)
+{
+    store_.markCorrupt(offset, len);
+    latent_errors_.increment();
+}
+
+void
+Disk::setTornWriteRate(double p)
+{
+    torn_write_rate_ = p;
+    if (p > 0.0 && !torn_rng_.has_value())
+        torn_rng_ = sim_.forkRng();
 }
 
 size_t

@@ -21,8 +21,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "disk/disk_spec.hh"
@@ -31,6 +33,7 @@
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
+#include "vi/fault_targets.hh"
 
 namespace v3sim::disk
 {
@@ -58,21 +61,41 @@ class DiskStore
                   sim::MemorySpace &mem, sim::Addr addr) const;
 
     /** Copies host memory into [offset, offset+len) of disk content.
-     *  Requires sector alignment. */
+     *  Requires sector alignment. Overwriting a sector clears any
+     *  corruption mark on it (fresh data is good data). */
     bool writeFrom(uint64_t offset, uint64_t len,
                    const sim::MemorySpace &mem, sim::Addr addr);
 
+    /**
+     * Fault injection: silently damages every sector overlapping
+     * [offset, offset+len). Real sectors get a byte flipped so reads
+     * return genuinely different data; phantom stores track the mark
+     * alone. Works on unwritten sectors too (they read back nonzero).
+     */
+    void markCorrupt(uint64_t offset, uint64_t len);
+
+    /** True when any sector overlapping [offset, offset+len) carries
+     *  a corruption mark. This is the *oracle* view — real software
+     *  only learns it by checksumming what readInto returns. */
+    bool rangeCorrupt(uint64_t offset, uint64_t len) const;
+
     size_t sectorCount() const { return sectors_.size(); }
+
+    /** Sectors currently marked corrupt (oracle view). */
+    size_t corruptSectorCount() const { return corrupt_sectors_.size(); }
 
   private:
     using Sector = std::array<uint8_t, kSectorSize>;
 
     bool phantom_;
     std::unordered_map<uint64_t, Sector> sectors_;
+    /** Sector indices damaged by markCorrupt and not yet rewritten. */
+    std::unordered_set<uint64_t> corrupt_sectors_;
 };
 
-/** One spindle with its command queue. */
-class Disk
+/** One spindle with its command queue. Implements the injector's
+ *  media-fault interface: latent sector errors and torn writes. */
+class Disk : public vi::MediaFaultTarget
 {
   public:
     Disk(sim::Simulation &sim, DiskSpec spec, sim::Rng rng,
@@ -86,6 +109,7 @@ class Disk
     const DiskSpec &spec() const { return spec_; }
     const std::string &name() const { return name_; }
     DiskStore &store() { return store_; }
+    const DiskStore &store() const { return store_; }
 
     /**
      * Submits a command; @p done fires when the mechanism finishes.
@@ -100,6 +124,21 @@ class Disk
     /** Awaitable write. */
     sim::Task<> write(uint64_t offset, uint64_t len);
 
+    /**
+     * Commits data to the store after the mechanism finished — the
+     * data half of a volume write. Equivalent to store().writeFrom
+     * except that the torn-write fault (if armed) may leave the tail
+     * sectors of the range corrupt, exactly as a power cut between
+     * platter sectors would.
+     */
+    bool commitWrite(uint64_t offset, uint64_t len,
+                     const sim::MemorySpace &mem, sim::Addr addr);
+
+    /** @name vi::MediaFaultTarget @{ */
+    void injectLatentError(uint64_t offset, uint64_t len) override;
+    void setTornWriteRate(double p) override;
+    /** @} */
+
     size_t queueDepth() const { return queue_.size(); }
     bool busy() const { return busy_; }
 
@@ -107,6 +146,8 @@ class Disk
     uint64_t completedCount() const { return completed_.value(); }
     const sim::Sampler &serviceStats() const { return service_stats_; }
     const sim::Sampler &latencyStats() const { return latency_stats_; }
+    uint64_t latentErrorCount() const { return latent_errors_.value(); }
+    uint64_t tornWriteCount() const { return torn_writes_.value(); }
     double utilization() const;
     void resetStats();
     /** @} */
@@ -129,10 +170,17 @@ class Disk
 
     sim::Simulation &sim_;
     DiskSpec spec_;
-    sim::Rng rng_;
+    sim::Rng rng_; ///< mechanism timing only — never faults
     std::string name_;
     SchedPolicy policy_;
     DiskStore store_;
+
+    double torn_write_rate_ = 0.0;
+    /** Forked lazily on the first setTornWriteRate(>0): the timing
+     *  stream above must stay untouched and an unarmed disk must not
+     *  consume an RNG stream, or arming faults anywhere would perturb
+     *  every fault-free run. */
+    std::optional<sim::Rng> torn_rng_;
 
     std::deque<Command> queue_;
     bool busy_ = false;
@@ -145,6 +193,8 @@ class Disk
     sim::Counter &completed_;
     sim::Sampler &service_stats_; ///< mechanism time per command (ns)
     sim::Sampler &latency_stats_; ///< queue wait + service (ns)
+    sim::Counter &latent_errors_; ///< injected latent sector errors
+    sim::Counter &torn_writes_;   ///< writes the torn fault damaged
     sim::TimeWeighted busy_integral_;
 };
 

@@ -23,7 +23,9 @@ SingleDiskVolume::write(uint64_t offset, uint64_t len,
     if (offset + len > capacity())
         co_return false;
     co_await disk_.write(offset, len);
-    co_return disk_.store().writeFrom(offset, len, mem, addr);
+    // commitWrite rather than store().writeFrom: the disk applies the
+    // torn-write fault (if armed) at the moment data hits the platter.
+    co_return disk_.commitWrite(offset, len, mem, addr);
 }
 
 ConcatVolume::ConcatVolume(std::vector<Volume *> children)
@@ -88,6 +90,24 @@ ConcatVolume::write(uint64_t offset, uint64_t len,
         done += chunk;
     }
     co_return ok;
+}
+
+bool
+ConcatVolume::corrupt(uint64_t offset, uint64_t len) const
+{
+    if (offset + len > capacity_)
+        return false;
+    uint64_t done = 0;
+    while (done < len) {
+        const auto [index, child_off] = locate(offset + done);
+        const uint64_t chunk =
+            std::min(len - done,
+                     children_[index]->capacity() - child_off);
+        if (children_[index]->corrupt(child_off, chunk))
+            return true;
+        done += chunk;
+    }
+    return false;
 }
 
 StripeVolume::StripeVolume(std::vector<Volume *> children,
@@ -171,6 +191,29 @@ StripeVolume::write(uint64_t offset, uint64_t len,
                true);
 }
 
+bool
+StripeVolume::corrupt(uint64_t offset, uint64_t len) const
+{
+    if (offset + len > capacity())
+        return false;
+    uint64_t done = 0;
+    while (done < len) {
+        const uint64_t pos = offset + done;
+        const uint64_t stripe_index = pos / stripe_unit_;
+        const uint64_t within = pos % stripe_unit_;
+        const size_t child =
+            static_cast<size_t>(stripe_index % children_.size());
+        const uint64_t child_off =
+            (stripe_index / children_.size()) * stripe_unit_ + within;
+        const uint64_t chunk =
+            std::min(len - done, stripe_unit_ - within);
+        if (children_[child]->corrupt(child_off, chunk))
+            return true;
+        done += chunk;
+    }
+    return false;
+}
+
 MirrorVolume::MirrorVolume(std::vector<Volume *> children)
     : children_(std::move(children))
 {
@@ -214,6 +257,16 @@ MirrorVolume::write(uint64_t offset, uint64_t len,
     }
     co_await group.wait();
     co_return all_ok;
+}
+
+bool
+MirrorVolume::corrupt(uint64_t offset, uint64_t len) const
+{
+    for (const Volume *child : children_) {
+        if (child->corrupt(offset, len))
+            return true;
+    }
+    return false;
 }
 
 } // namespace v3sim::disk

@@ -48,6 +48,20 @@ class Volume
     virtual sim::Task<bool> write(uint64_t offset, uint64_t len,
                                   const sim::MemorySpace &mem,
                                   sim::Addr addr) = 0;
+
+    /**
+     * Oracle view of latent corruption: true when any sector backing
+     * [offset, offset+len) carries an injected corruption mark. The
+     * server's verify-on-read uses this as the phantom-memory stand-in
+     * for "the block's CRC32C did not match" — with real memory the
+     * damaged bytes are also actually delivered by read().
+     */
+    virtual bool corrupt(uint64_t offset, uint64_t len) const
+    {
+        (void)offset;
+        (void)len;
+        return false;
+    }
 };
 
 /** Volume over one physical disk. */
@@ -70,6 +84,12 @@ class SingleDiskVolume : public Volume
                           const sim::MemorySpace &mem,
                           sim::Addr addr) override;
 
+    bool
+    corrupt(uint64_t offset, uint64_t len) const override
+    {
+        return disk_.store().rangeCorrupt(offset, len);
+    }
+
     Disk &disk() { return disk_; }
 
   private:
@@ -91,6 +111,8 @@ class ConcatVolume : public Volume
     sim::Task<bool> write(uint64_t offset, uint64_t len,
                           const sim::MemorySpace &mem,
                           sim::Addr addr) override;
+
+    bool corrupt(uint64_t offset, uint64_t len) const override;
 
   private:
     /** Child index and in-child offset for a volume offset. */
@@ -116,6 +138,8 @@ class StripeVolume : public Volume
     sim::Task<bool> write(uint64_t offset, uint64_t len,
                           const sim::MemorySpace &mem,
                           sim::Addr addr) override;
+
+    bool corrupt(uint64_t offset, uint64_t len) const override;
 
     uint64_t stripeUnit() const { return stripe_unit_; }
 
@@ -144,6 +168,10 @@ class MirrorVolume : public Volume
     sim::Task<bool> write(uint64_t offset, uint64_t len,
                           const sim::MemorySpace &mem,
                           sim::Addr addr) override;
+
+    /** True when *any* replica holds damage in the range: the mirror
+     *  cannot know which replica a read will hit. */
+    bool corrupt(uint64_t offset, uint64_t len) const override;
 
   private:
     std::vector<Volume *> children_;

@@ -38,6 +38,13 @@ clientPathSegment(DsaImpl impl, uint32_t volume)
     return std::string("client.") + impl_path + std::to_string(volume);
 }
 
+/** CPU ticks to CRC32C @p len bytes at @p per_kb. */
+sim::Tick
+digestTicks(uint64_t len, sim::Tick per_kb)
+{
+    return static_cast<sim::Tick>((len + 1023) / 1024) * per_kb;
+}
+
 } // namespace
 
 DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
@@ -66,6 +73,10 @@ DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
           metric_prefix_ + ".intr_completions")),
       polled_completions_(node.sim().metrics().counter(
           metric_prefix_ + ".polled_completions")),
+      digest_mismatches_(node.sim().metrics().counter(
+          metric_prefix_ + ".integrity_digest_mismatches")),
+      integrity_errors_(node.sim().metrics().counter(
+          metric_prefix_ + ".integrity_errors")),
       latency_(node.sim().metrics().sampler(metric_prefix_ +
                                             ".latency_ns")),
       latency_hist_(node.sim().metrics().histogram(metric_prefix_ +
@@ -123,12 +134,11 @@ DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
         free_flags_.push_back(slots - 1 - i);
 
     // Observe inbound RDMA writes so flag completions work even with
-    // phantom memory.
-    nic_.setRdmaObserver(
-        [this](sim::Addr addr, uint64_t len, bool last) {
-            if (last)
-                onRdmaWrite(addr, len);
-        });
+    // phantom memory, and so damaged fragments taint the buffers
+    // they land in.
+    nic_.setRdmaObserver([this](const vi::ViNic::RdmaEvent &event) {
+        onRdmaEvent(event);
+    });
 }
 
 DsaClient::~DsaClient() = default;
@@ -287,16 +297,44 @@ DsaClient::establish()
 }
 
 void
-DsaClient::onRdmaWrite(sim::Addr addr, uint64_t len)
+DsaClient::onRdmaEvent(const vi::ViNic::RdmaEvent &event)
 {
     const uint32_t slots = responseSlots();
-    if (addr < flag_base_ ||
-        addr >= flag_base_ + static_cast<uint64_t>(slots) * 8) {
+    const bool in_flags =
+        event.addr >= flag_base_ &&
+        event.addr < flag_base_ + static_cast<uint64_t>(slots) * 8;
+
+    if (!in_flags) {
+        // Read data landing in an I/O buffer: track taint per I/O so
+        // damaged fragments are detected even when memory is phantom
+        // (no bytes to CRC). A (re)transfer starts at the buffer
+        // base, which clears taint from an earlier damaged attempt.
+        for (auto &[id, io] : pending_) {
+            if (io->buffer == sim::kNullAddr ||
+                event.addr < io->buffer ||
+                event.addr >= io->buffer + io->msg.len) {
+                continue;
+            }
+            if (event.addr == io->buffer)
+                io->tainted = false;
+            if (event.corrupted)
+                io->tainted = true;
+            break;
+        }
         return;
     }
-    (void)len;
+
+    if (!event.last)
+        return;
+    if (event.corrupted) {
+        // The completion flag word itself was damaged: treat it as
+        // lost; the retransmission timer recovers and the server
+        // replays the completion.
+        digest_mismatches_.increment();
+        return;
+    }
     const uint32_t index =
-        static_cast<uint32_t>((addr - flag_base_) / 8);
+        static_cast<uint32_t>((event.addr - flag_base_) / 8);
     auto it = flag_to_io_.find(index);
     if (it == flag_to_io_.end())
         return;
@@ -304,21 +342,48 @@ DsaClient::onRdmaWrite(sim::Addr addr, uint64_t len)
     if (pending == pending_.end())
         return;
     PendingIo *io = pending->second;
+    if (io->done)
+        return;
 
     io->flag_set = true;
+    IoStatus status;
+    uint64_t flag;
     if (node_.memory().phantom()) {
-        // Flag bytes are not stored; completions are success unless
-        // the connection failed (failures use the message path in
-        // phantom runs).
-        io->ok = true;
+        // Flag bytes are not stored; the sender mirrors the flag
+        // word into the descriptor's meta sidecar.
+        flag = event.meta;
     } else {
-        const uint64_t value = node_.memory().readU64(io->msg.flag_addr);
-        io->ok = (value & kFlagOk) != 0;
+        flag = node_.memory().readU64(io->msg.flag_addr);
     }
-    if (!io->done) {
-        io->done = true;
-        io->completion.set(io->ok);
+    status = statusFromFlag(flag);
+
+    // Flag-mode read verification: the flag's upper half carries the
+    // server's payload digest, so a damaged or stale buffer (e.g. a
+    // duplicate delivery from a spurious retransmission trampling a
+    // reused buffer) is caught exactly like in Message mode.
+    bool digest_bad = false;
+    if (status == IoStatus::Ok && io->msg.op == DsaOp::Read &&
+        !node_.memory().phantom() && digestFromFlag(flag) != 0) {
+        digest_bad = payloadDigest(node_.memory(), io->buffer,
+                                   io->msg.len) != digestFromFlag(flag);
     }
+
+    if (status == IoStatus::BadDigest || digest_bad ||
+        (status == IoStatus::Ok && io->tainted)) {
+        // The write payload failed the server's check, or our read
+        // data arrived damaged: recover like a loss, but retransmit
+        // immediately instead of waiting out the timer.
+        digest_mismatches_.increment();
+        io->tainted = false;
+        io->retx_timer.cancel();
+        sim::spawn(retransmit(io->id));
+        return;
+    }
+    if (status == IoStatus::IntegrityError)
+        integrity_errors_.increment();
+    io->ok = status == IoStatus::Ok;
+    io->done = true;
+    io->completion.set(io->ok);
 }
 
 sim::Task<bool>
@@ -358,6 +423,7 @@ DsaClient::hint(HintKind kind, uint64_t offset, uint64_t len)
     io.msg.completion = mode_;
     io.msg.flag_addr =
         flag_base_ + static_cast<uint64_t>(io.flag_index) * 8;
+    io.msg.header_digest = headerDigest(io.msg);
 
     outstanding_seqs_.insert(io.msg.seq);
     pending_[io.id] = &io;
@@ -421,6 +487,12 @@ DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
     io.msg.completion = mode_;
     io.msg.flag_addr =
         flag_base_ + static_cast<uint64_t>(io.flag_index) * 8;
+    if (is_write && !node_.memory().phantom()) {
+        io.msg.payload_digest =
+            payloadDigest(node_.memory(), buffer, len);
+        io.msg.digest_valid = true;
+    }
+    io.msg.header_digest = headerDigest(io.msg);
 
     outstanding_seqs_.insert(io.msg.seq);
     pending_[io.id] = &io;
@@ -463,6 +535,12 @@ DsaClient::issuePath(CpuLease &lease, PendingIo &io)
     const uint64_t pages = sim::pageSpan(io.buffer, io.msg.len);
 
     co_await lease.run(costs.request_build, CpuCat::Dsa);
+    // Write payloads are digested before staging (charged whether or
+    // not real bytes back the buffer; see dsa::payloadDigest).
+    if (io.msg.op == DsaOp::Write) {
+        co_await lease.run(digestTicks(io.msg.len, costs.digest_per_kb),
+                           CpuCat::Dsa);
+    }
 
     switch (impl_) {
       case DsaImpl::Kdsa:
@@ -608,7 +686,13 @@ DsaClient::drainRecvCq(CpuLease lease, bool interrupt_context)
         if (completion->status != vi::WorkStatus::Ok)
             continue; // flushed by teardown; recvs reposted on
                       // reconnect
-        if (completion->control) {
+        if (completion->corrupted) {
+            // Response or HelloAck damaged in flight: its digest
+            // fails, so it is dropped like a lost packet and the
+            // request-level machinery (retransmit / Hello timeout)
+            // recovers.
+            digest_mismatches_.increment();
+        } else if (completion->control) {
             auto msg = std::static_pointer_cast<ServerMsg>(
                 completion->control);
             if (msg->kind == ServerMsg::Kind::HelloAck) {
@@ -696,8 +780,38 @@ DsaClient::completeFromResponse(CpuLease &lease,
     if (it == pending_.end() || it->second->done)
         co_return; // stale duplicate (retransmission crossing)
     PendingIo *io = it->second;
+
+    // End-to-end verification before the completion is accepted.
+    IoStatus status = response.status;
+    if (status == IoStatus::Ok && io->msg.op == DsaOp::Read) {
+        co_await lease.run(
+            digestTicks(io->msg.len, config_.costs.digest_per_kb),
+            CpuCat::Dsa);
+        bool good = !io->tainted;
+        if (good && response.digest_valid &&
+            !node_.memory().phantom()) {
+            good = payloadDigest(node_.memory(), io->buffer,
+                                 io->msg.len) ==
+                   response.payload_digest;
+        }
+        if (!good)
+            status = IoStatus::BadDigest;
+    }
+    if (status == IoStatus::BadDigest) {
+        // Write payload rejected by the server, or read data damaged
+        // on the way back: recover like a loss, retransmitting
+        // immediately instead of waiting out the timer.
+        digest_mismatches_.increment();
+        io->tainted = false;
+        io->retx_timer.cancel();
+        sim::spawn(retransmit(io->id));
+        co_return;
+    }
+    if (status == IoStatus::IntegrityError)
+        integrity_errors_.increment();
+
     io->done = true;
-    io->ok = response.ok;
+    io->ok = status == IoStatus::Ok;
     io->retx_timer.cancel();
     intr_completions_.increment();
 
@@ -822,6 +936,14 @@ DsaClient::awaitCompletion(PendingIo &io)
     // Completion-side path in the application's context: no kernel.
     {
         CpuLease lease = co_await cpus().acquire();
+        // Read-payload digest verification (the compare itself runs
+        // in the flag observer; its time is charged here, on the
+        // application path, identically for phantom and real runs).
+        if (io.msg.op == DsaOp::Read && io.ok) {
+            co_await lease.run(
+                digestTicks(io.msg.len, config_.costs.digest_per_kb),
+                CpuCat::Dsa);
+        }
         co_await lease.run(config_.costs.cdsa_complete, CpuCat::Dsa);
         for (int i = 0; i < ownSyncPairs(); ++i)
             co_await own_lock_.syncPair(lease, CpuCat::Dsa);
@@ -955,6 +1077,8 @@ DsaClient::resetStats()
     revives_.reset();
     intr_completions_.reset();
     polled_completions_.reset();
+    digest_mismatches_.reset();
+    integrity_errors_.reset();
     latency_.reset();
     latency_hist_.reset();
 }

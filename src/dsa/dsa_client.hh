@@ -149,6 +149,21 @@ class DsaClient : public BlockDevice
     {
         return polled_completions_.value();
     }
+    /** Completions rejected by the end-to-end digest/taint check and
+     *  recovered via retransmission (transient wire damage). */
+    uint64_t
+    digestMismatchCount() const
+    {
+        return digest_mismatches_.value();
+    }
+    /** I/Os the server failed with IntegrityError: the block is
+     *  damaged on its disk, and only a replica can help (this is the
+     *  signal dsa::MirroredDevice repairs on). */
+    uint64_t
+    integrityErrorCount() const
+    {
+        return integrity_errors_.value();
+    }
     /** End-to-end I/O latency (ns). */
     const sim::Sampler &latency() const { return latency_; }
     /** End-to-end I/O latency distribution (ns), for p50/p95/p99. */
@@ -176,6 +191,10 @@ class DsaClient : public BlockDevice
         bool flag_set = false;
         bool ok = false;
         bool done = false;
+        /** A damaged RDMA fragment landed in this I/O's buffer (set
+         *  by the NIC observer; how phantom runs detect read-data
+         *  corruption). Reset when a fresh transfer starts. */
+        bool tainted = false;
         int retx_count = 0;
         sim::Tick issued_at = 0;
         sim::Completion<bool> completion;
@@ -230,8 +249,9 @@ class DsaClient : public BlockDevice
     /** Establishes endpoint + Hello; shared by connect/reconnect. */
     sim::Task<bool> establish();
 
-    /** RDMA observer: marks completion flags as they land. */
-    void onRdmaWrite(sim::Addr addr, uint64_t len);
+    /** RDMA observer: taints I/O buffers hit by damaged fragments
+     *  and marks completion flags as they land. */
+    void onRdmaEvent(const vi::ViNic::RdmaEvent &event);
 
     /** Lowest outstanding sequence (piggybacked ack watermark). */
     uint64_t ackBelow() const;
@@ -307,6 +327,8 @@ class DsaClient : public BlockDevice
     sim::Counter &revives_;
     sim::Counter &intr_completions_;
     sim::Counter &polled_completions_;
+    sim::Counter &digest_mismatches_;
+    sim::Counter &integrity_errors_;
     sim::Sampler &latency_;
     sim::Histogram &latency_hist_;
 };

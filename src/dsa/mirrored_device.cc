@@ -15,6 +15,9 @@ MirrorReplica::forClient(DsaClient &client)
     MirrorReplica replica;
     replica.device = &client;
     replica.revive = [&client] { return client.revive(); };
+    replica.integrity_errors = [&client] {
+        return client.integrityErrorCount();
+    };
     return replica;
 }
 
@@ -36,6 +39,14 @@ MirroredDevice::MirroredDevice(sim::Simulation &sim,
           sim.metrics().counter(metric_prefix_ + ".degraded_reads")),
       degraded_writes_(
           sim.metrics().counter(metric_prefix_ + ".degraded_writes")),
+      integrity_repairs_(sim.metrics().counter(metric_prefix_ +
+                                               ".integrity_repairs")),
+      unrecoverable_(
+          sim.metrics().counter(metric_prefix_ + ".unrecoverable")),
+      scrubbed_bytes_(
+          sim.metrics().counter(metric_prefix_ + ".scrubbed_bytes")),
+      scrub_passes_(
+          sim.metrics().counter(metric_prefix_ + ".scrub_passes")),
       resync_time_ns_(
           sim.metrics().sampler(metric_prefix_ + ".resync_time_ns")),
       degraded_replicas_(sim.metrics().timeWeighted(
@@ -54,6 +65,22 @@ MirroredDevice::MirroredDevice(sim::Simulation &sim,
     sim.metrics().gauge(metric_prefix_ + ".dirty_bytes", [this] {
         return static_cast<double>(dirtyBytes());
     });
+    // The scrubber is strictly opt-in: with the default rate of 0 no
+    // task is ever spawned and fault-free runs stay bit-identical.
+    // Even when enabled it starts lazily on the first I/O (see
+    // maybeStartScrub): spawning the infinite walk here would keep
+    // connect-time Simulation::run() drains from ever terminating.
+    assert(config_.scrub_rate_bytes_per_sec == 0 ||
+           config_.scrub_chunk > 0);
+}
+
+void
+MirroredDevice::maybeStartScrub()
+{
+    if (scrub_started_ || config_.scrub_rate_bytes_per_sec == 0)
+        return;
+    scrub_started_ = true;
+    sim::spawn(scrubTask());
 }
 
 uint64_t
@@ -109,21 +136,38 @@ MirroredDevice::read(uint64_t offset, uint64_t len, sim::Addr buffer)
 {
     if (len == 0 || offset + len > capacity())
         co_return false;
+    maybeStartScrub();
 
     // Each active replica gets at most one try; a failed read is the
     // signal the DSA client exhausted retransmission *and*
     // reconnection against that node, so the replica fails over and
-    // the survivor serves the retry.
+    // the survivor serves the retry. One exception: a read the
+    // server failed with IntegrityError means the *data* is rotten
+    // (latent sector error, torn write), not the node — the replica
+    // stays in the mirror and the range is repaired from a peer.
     for (size_t tries = replicas_.size(); tries > 0; --tries) {
         const size_t idx = pickReader();
         if (idx == replicas_.size())
             break; // every replica failed out
-        const bool ok = co_await replicas_[idx].leg.device->read(
+        Replica &replica = replicas_[idx];
+        const uint64_t errors_before =
+            replica.leg.integrity_errors
+                ? replica.leg.integrity_errors()
+                : 0;
+        const bool ok = co_await replica.leg.device->read(
             offset, len, buffer);
         if (ok) {
             if (degraded())
                 degraded_reads_.increment();
             co_return true;
+        }
+        if (replica.leg.integrity_errors &&
+            replica.leg.integrity_errors() > errors_before) {
+            if (co_await repairRange(idx, offset, len, buffer))
+                co_return true;
+            // No replica holds a good copy of this range.
+            unrecoverable_.increment();
+            co_return false;
         }
         failReplica(idx);
     }
@@ -135,6 +179,7 @@ MirroredDevice::write(uint64_t offset, uint64_t len, sim::Addr buffer)
 {
     if (len == 0 || offset + len > capacity())
         co_return false;
+    maybeStartScrub();
 
     // Targets: active replicas (the write must reach one of them) and
     // catching-up replicas (duplicating to them now is what lets the
@@ -286,6 +331,85 @@ MirroredDevice::logDirty(Replica &replica, uint64_t offset,
         it = replica.dirty.erase(it);
     }
     replica.dirty[offset] = end - offset;
+}
+
+sim::Task<bool>
+MirroredDevice::repairRange(size_t idx, uint64_t offset, uint64_t len,
+                            sim::Addr buffer)
+{
+    for (size_t peer = 0; peer < replicas_.size(); ++peer) {
+        if (peer == idx || !replicas_[peer].active)
+            continue;
+        if (!co_await replicas_[peer].leg.device->read(offset, len,
+                                                       buffer)) {
+            continue; // peer unreachable or also rotten; try another
+        }
+        // The caller's buffer now holds a verified copy; rewrite the
+        // damaged leg from it (overwriting clears the latent marks).
+        if (co_await replicas_[idx].leg.device->write(offset, len,
+                                                      buffer)) {
+            integrity_repairs_.increment();
+            V3LOG(Info, "mirror")
+                << config_.name << ": repaired " << len
+                << " bytes at " << offset << " on replica " << idx
+                << " from replica " << peer;
+        } else {
+            // The rewrite failed (node died mid-repair, or the range
+            // does not meet the server's write alignment): remember
+            // it so a later resync replays it.
+            logDirty(replicas_[idx], offset, len);
+        }
+        co_return true;
+    }
+    co_return false;
+}
+
+sim::Task<>
+MirroredDevice::scrubTask()
+{
+    // Replica capacities are learned from the servers' Hello acks;
+    // wait for the clients to connect.
+    while (capacity() == 0)
+        co_await sim_.sleep(config_.probe_interval);
+
+    const sim::Addr buf = memory_.allocate(config_.scrub_chunk);
+    for (uint32_t pass = 0; config_.scrub_pass_limit == 0 ||
+                            pass < config_.scrub_pass_limit;
+         ++pass) {
+        const uint64_t cap = capacity();
+        for (uint64_t off = 0; off < cap;
+             off += config_.scrub_chunk) {
+            const uint64_t n = std::min(config_.scrub_chunk, cap - off);
+            // Pace the walk so the scrub costs a bounded slice of
+            // the cluster's bandwidth.
+            co_await sim_.sleep(sim::usecs(
+                1e6 * static_cast<double>(n) /
+                static_cast<double>(config_.scrub_rate_bytes_per_sec)));
+            // Every replica is checked directly (the round-robin
+            // read path would only ever sample one leg per chunk).
+            for (size_t idx = 0; idx < replicas_.size(); ++idx) {
+                Replica &replica = replicas_[idx];
+                if (!replica.active)
+                    continue; // resync will rebuild it anyway
+                const uint64_t errors_before =
+                    replica.leg.integrity_errors
+                        ? replica.leg.integrity_errors()
+                        : 0;
+                if (co_await replica.leg.device->read(off, n, buf))
+                    continue;
+                if (replica.leg.integrity_errors &&
+                    replica.leg.integrity_errors() > errors_before) {
+                    if (!co_await repairRange(idx, off, n, buf))
+                        unrecoverable_.increment();
+                }
+                // A plain failure is left alone: the foreground path
+                // owns the failover decision.
+            }
+            scrubbed_bytes_.increment(n);
+        }
+        scrub_passes_.increment();
+    }
+    memory_.free(buf);
 }
 
 sim::Task<>

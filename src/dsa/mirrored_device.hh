@@ -76,6 +76,28 @@ struct MirrorConfig
      * staging-slot budget).
      */
     uint32_t resync_parallel = 8;
+
+    /**
+     * Background scrubber rate in bytes per simulated second; 0 (the
+     * default) disables scrubbing, which keeps fault-free runs
+     * bit-identical to builds without the scrubber. When enabled, a
+     * background task walks every active replica at this rate,
+     * reading each chunk so the server's verify-on-read surfaces
+     * latent sector errors, and repairs damaged ranges from a peer
+     * replica — catching rot in cold data before an application read
+     * trips over it. The walk starts lazily with the mirror's first
+     * I/O, so connect-time Simulation::run() drains still terminate.
+     */
+    uint64_t scrub_rate_bytes_per_sec = 0;
+
+    /** Bytes per scrub read (must fit the server staging slot so the
+     *  repair write is valid). */
+    uint64_t scrub_chunk = 64 * 1024;
+
+    /** Full passes the scrubber makes before stopping; 0 = unbounded
+     *  (callers driving the sim with runUntil). A bounded pass count
+     *  lets Simulation::run() terminate. */
+    uint32_t scrub_pass_limit = 0;
 };
 
 /**
@@ -89,7 +111,18 @@ struct MirrorReplica
     BlockDevice *device = nullptr;
     std::function<sim::Task<bool>()> revive;
 
-    /** Wires both fields to a DsaClient (device + revive()). */
+    /**
+     * Monotone count of IntegrityError completions from this leg
+     * (the server found a block damaged on disk). The mirror
+     * snapshots it around each read to tell "the node is dead"
+     * (failover) from "the data is rotten" (repair from the peer and
+     * keep the replica). Optional: without it every read failure is
+     * treated as a node fault.
+     */
+    std::function<uint64_t()> integrity_errors;
+
+    /** Wires all fields to a DsaClient (device + revive() +
+     *  integrityErrorCount()). */
     static MirrorReplica forClient(DsaClient &client);
 };
 
@@ -127,6 +160,22 @@ class MirroredDevice : public BlockDevice
     uint64_t resyncBytes() const { return resync_bytes_.value(); }
     /** Total bytes currently in dirty-region logs. */
     uint64_t dirtyBytes() const;
+    /** Damaged ranges rewritten from a peer replica (foreground
+     *  reads and scrub passes both land here). */
+    uint64_t
+    integrityRepairCount() const
+    {
+        return integrity_repairs_.value();
+    }
+    /** Reads that failed verify-on-read on every replica: data loss
+     *  the mirror could not mask. */
+    uint64_t
+    unrecoverableCount() const
+    {
+        return unrecoverable_.value();
+    }
+    uint64_t scrubbedBytes() const { return scrubbed_bytes_.value(); }
+    uint64_t scrubPassCount() const { return scrub_passes_.value(); }
     /** @} */
 
   private:
@@ -163,6 +212,25 @@ class MirroredDevice : public BlockDevice
     /** Probe -> replay -> readmit loop for one failed replica. */
     sim::Task<> resyncTask(size_t idx);
 
+    /**
+     * Repairs [offset, offset+len) on replica @p idx: reads the good
+     * copy from another active replica into @p buffer (so the caller
+     * gets valid data either way), then rewrites the damaged leg
+     * from it. Returns true when a good copy was obtained; the
+     * rewrite failing (node just died, unaligned range) only defers
+     * the repair to the dirty log.
+     */
+    sim::Task<bool> repairRange(size_t idx, uint64_t offset,
+                                uint64_t len, sim::Addr buffer);
+
+    /** Spawns the scrubber on the first I/O (not at construction:
+     *  an infinite background task would keep connect-time
+     *  Simulation::run() drains from terminating). */
+    void maybeStartScrub();
+
+    /** Paced background walk over all replicas (scrub_rate > 0). */
+    sim::Task<> scrubTask();
+
     /** Index of an active replica to read from, or replicas_.size()
      *  when none is left. Advances the round-robin cursor. */
     size_t pickReader();
@@ -176,6 +244,7 @@ class MirroredDevice : public BlockDevice
     sim::Addr scratch_ = 0;
 
     size_t rr_cursor_ = 0;
+    bool scrub_started_ = false;
 
     // Prefix member must precede the metric references (init order).
     std::string metric_prefix_;
@@ -185,6 +254,10 @@ class MirroredDevice : public BlockDevice
     sim::Counter &resync_bytes_;
     sim::Counter &degraded_reads_;
     sim::Counter &degraded_writes_;
+    sim::Counter &integrity_repairs_;
+    sim::Counter &unrecoverable_;
+    sim::Counter &scrubbed_bytes_;
+    sim::Counter &scrub_passes_;
     sim::Sampler &resync_time_ns_;
     sim::TimeWeighted &degraded_replicas_;
 };

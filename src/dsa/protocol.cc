@@ -1,0 +1,88 @@
+#include "protocol.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32c.hh"
+
+namespace v3sim::dsa
+{
+
+uint64_t
+flagValue(IoStatus status, uint32_t payload_digest)
+{
+    uint64_t flag = kFlagDone;
+    switch (status) {
+      case IoStatus::Ok:
+        flag |= kFlagOk;
+        break;
+      case IoStatus::Error:
+        break;
+      case IoStatus::BadDigest:
+        flag |= kFlagBadDigest;
+        break;
+      case IoStatus::IntegrityError:
+        flag |= kFlagIntegrity;
+        break;
+    }
+    return flag | (static_cast<uint64_t>(payload_digest) << 32);
+}
+
+IoStatus
+statusFromFlag(uint64_t flag)
+{
+    if (flag & kFlagOk)
+        return IoStatus::Ok;
+    if (flag & kFlagBadDigest)
+        return IoStatus::BadDigest;
+    if (flag & kFlagIntegrity)
+        return IoStatus::IntegrityError;
+    return IoStatus::Error;
+}
+
+uint32_t
+payloadDigest(const sim::MemorySpace &mem, sim::Addr addr, uint64_t len,
+              uint32_t seed)
+{
+    if (mem.phantom())
+        return 0;
+    uint8_t chunk[4096];
+    uint32_t crc = seed;
+    uint64_t done = 0;
+    while (done < len) {
+        const uint64_t n = std::min<uint64_t>(sizeof(chunk), len - done);
+        if (!mem.read(addr + done, chunk, n))
+            return 0;
+        crc = util::crc32c(chunk, n, crc);
+        done += n;
+    }
+    return crc;
+}
+
+uint32_t
+headerDigest(const RequestMsg &req)
+{
+    // The fields a serialized request header would carry, packed in a
+    // fixed order. The digest fields themselves are excluded (iSCSI
+    // header-digest style).
+    uint8_t buf[48];
+    std::memset(buf, 0, sizeof(buf));
+    size_t at = 0;
+    auto put = [&buf, &at](const void *src, size_t n) {
+        std::memcpy(buf + at, src, n);
+        at += n;
+    };
+    const uint8_t op = static_cast<uint8_t>(req.op);
+    put(&op, sizeof(op));
+    put(&req.request_id, sizeof(req.request_id));
+    put(&req.seq, sizeof(req.seq));
+    put(&req.volume, sizeof(req.volume));
+    put(&req.offset, sizeof(req.offset));
+    put(&req.len, sizeof(req.len));
+    put(&req.staging_slot, sizeof(req.staging_slot));
+    const uint8_t hint = static_cast<uint8_t>(req.hint);
+    put(&hint, sizeof(hint));
+    return util::crc32c(buf, at);
+}
+
+} // namespace v3sim::dsa

@@ -26,6 +26,15 @@
  * Messages travel as VI sends whose modelled wire size is
  * kRequestWireBytes/kResponseWireBytes; the typed structs ride the
  * descriptor's control sidecar (see vi::WorkDescriptor::control).
+ *
+ * End-to-end integrity (iSCSI-style header/data digests): requests
+ * and responses carry CRC32C digests over the message header and the
+ * RDMA-staged payload. The link-level CRC only protects one hop, so
+ * these digests are what catches NIC-buffer, DMA and staging-copy
+ * corruption. A digest mismatch is handled like a lost packet — the
+ * request-level retransmission machinery recovers — while a server
+ * verify-on-read failure surfaces as IoStatus::IntegrityError so the
+ * mirrored layer above can repair from the peer replica.
  */
 
 #ifndef V3SIM_DSA_PROTOCOL_HH
@@ -43,6 +52,26 @@ constexpr uint64_t kRequestWireBytes = 64;
 
 /** Modelled wire size of a response / credit message. */
 constexpr uint64_t kResponseWireBytes = 64;
+
+/** Outcome of one DSA request, carried in the response. */
+enum class IoStatus : uint8_t
+{
+    Ok,
+    /** Request failed server-side (validation, disk error). */
+    Error,
+    /**
+     * A digest check failed in transit (request payload damaged on
+     * the way to the server, or response data damaged on the way
+     * back). Transient: retransmitting re-stages the data.
+     */
+    BadDigest,
+    /**
+     * The server's verify-on-read found the block damaged *on disk*
+     * (latent sector error / torn write). Retransmitting will not
+     * help; only a redundant replica can.
+     */
+    IntegrityError,
+};
 
 /** How the server signals request completion to this client. */
 enum class CompletionMode : uint8_t
@@ -104,13 +133,32 @@ struct RequestMsg
     sim::Addr flag_addr = sim::kNullAddr;
     /** DsaOp::Hint only. */
     HintKind hint = HintKind::WillNeed;
+
+    /** CRC32C over the request header fields (headerDigest). */
+    uint32_t header_digest = 0;
+    /** Write: CRC32C over the RDMA-staged payload the client sent.
+     *  Meaningful only when digest_valid. */
+    uint32_t payload_digest = 0;
+    /** False when client memory is phantom: there were no real bytes
+     *  to checksum, so the receiver must rely on corruption taint
+     *  flags instead of recomputing the CRC. Digest *time* is charged
+     *  either way so phantom and real runs cost the same. */
+    bool digest_valid = false;
 };
 
 /** Server-to-client response (control sidecar, Message mode). */
 struct ResponseMsg
 {
     uint64_t request_id = 0;
-    bool ok = true;
+    IoStatus status = IoStatus::Ok;
+
+    /** Read: CRC32C over the data the server RDMA-wrote into the
+     *  client buffer. Meaningful only when digest_valid. */
+    uint32_t payload_digest = 0;
+    /** See RequestMsg::digest_valid. */
+    bool digest_valid = false;
+
+    bool ok() const { return status == IoStatus::Ok; }
 };
 
 /** Server-to-client hello acknowledgement. */
@@ -148,9 +196,44 @@ struct ServerMsg
 };
 
 /** Value the server writes into a completion flag (RdmaFlag mode):
- *  low bit = done, next bit = ok. */
+ *  low bit = done, next bit = ok; the two integrity bits distinguish
+ *  the retryable digest failure from on-disk damage. */
 constexpr uint64_t kFlagDone = 1;
 constexpr uint64_t kFlagOk = 2;
+constexpr uint64_t kFlagIntegrity = 4;
+constexpr uint64_t kFlagBadDigest = 8;
+
+/** Flag word encoding @p status (always includes kFlagDone). The
+ *  upper 32 bits carry @p payload_digest so RdmaFlag completions get
+ *  the same end-to-end read verification Message completions get
+ *  from ResponseMsg::payload_digest (0 = no digest, phantom runs). */
+uint64_t flagValue(IoStatus status, uint32_t payload_digest = 0);
+
+/** Inverse of flagValue; assumes kFlagDone is set. */
+IoStatus statusFromFlag(uint64_t flag);
+
+/** The payload digest packed into a completion flag (0 = none). */
+constexpr uint32_t
+digestFromFlag(uint64_t flag)
+{
+    return static_cast<uint32_t>(flag >> 32);
+}
+
+/**
+ * CRC32C over [addr, addr+len) of @p mem. Returns 0 with no bytes
+ * read when the space is phantom — pair with digest_valid=false. Pass
+ * the previous return value as @p seed to digest discontiguous pieces
+ * (e.g. cache frames feeding one response) as a single stream. The
+ * *time* a real implementation would spend is charged separately by
+ * the caller (DsaClientCosts::digest_per_kb and the server's
+ * equivalent), keeping phantom and real runs cost-identical.
+ */
+uint32_t payloadDigest(const sim::MemorySpace &mem, sim::Addr addr,
+                       uint64_t len, uint32_t seed = 0);
+
+/** CRC32C over the semantic header fields of @p req (excludes the
+ *  digest fields themselves, like iSCSI's header digest). */
+uint32_t headerDigest(const RequestMsg &req);
 
 } // namespace v3sim::dsa
 

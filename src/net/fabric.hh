@@ -52,6 +52,15 @@ struct Packet
     PortId src = kInvalidPort;
     PortId dst = kInvalidPort;
     uint64_t wire_bytes = 0;
+    /**
+     * Fault injection: the packet's payload was damaged in flight.
+     * The fabric delivers it anyway — the link-level CRC that would
+     * catch a clean wire flip is a hop-local defence, and the
+     * corruption classes the integrity work targets (bad NIC
+     * buffers, DMA errors) get past it — so the receiving NIC model
+     * applies the damage and end-to-end digests must detect it.
+     */
+    bool corrupted = false;
     std::shared_ptr<void> payload;
 };
 
@@ -81,6 +90,10 @@ class Fabric
     /** Returns true to drop the packet (fault injection hook). */
     using DropFilter = std::function<bool(const Packet &)>;
 
+    /** Returns true to corrupt the packet's payload in flight
+     *  (fault injection hook; see Packet::corrupted). */
+    using CorruptFilter = std::function<bool(const Packet &)>;
+
     Fabric(sim::EventQueue &queue, FabricConfig config = {});
 
     Fabric(const Fabric &) = delete;
@@ -104,6 +117,14 @@ class Fabric
 
     /** Installs (or clears, with nullptr) the drop filter. */
     void setDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+    /** Installs (or clears, with nullptr) the corrupt filter. It is
+     *  consulted only for packets that are not dropped. */
+    void
+    setCorruptFilter(CorruptFilter filter)
+    {
+        corrupt_filter_ = std::move(filter);
+    }
 
     /**
      * Marks a port down (node crash) or back up (restart). While a
@@ -131,6 +152,9 @@ class Fabric
     /** Packets removed by the drop filter. */
     uint64_t packetsDropped() const { return dropped_.value(); }
 
+    /** Packets damaged by the corrupt filter. */
+    uint64_t packetsCorrupted() const { return corrupted_.value(); }
+
     /** Transmit-queue utilization of @p port over the run. */
     double txUtilization(PortId port) const;
 
@@ -151,7 +175,9 @@ class Fabric
     FabricConfig config_;
     std::vector<std::unique_ptr<PortState>> ports_;
     DropFilter drop_filter_;
+    CorruptFilter corrupt_filter_;
     sim::Counter dropped_;
+    sim::Counter corrupted_;
 };
 
 } // namespace v3sim::net

@@ -30,6 +30,13 @@ alignUp(uint64_t value, uint64_t align)
 
 constexpr uint64_t kSector = disk::DiskStore::kSectorSize;
 
+/** CPU ticks to CRC32C @p len bytes at @p per_kb. */
+sim::Tick
+digestTicks(uint64_t len, sim::Tick per_kb)
+{
+    return static_cast<sim::Tick>((len + 1023) / 1024) * per_kb;
+}
+
 } // namespace
 
 V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
@@ -52,6 +59,12 @@ V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
           sim.metrics().counter(metric_prefix_ + ".retransmit_hits")),
       crashes_(sim.metrics().counter(metric_prefix_ + ".crashes")),
       restarts_(sim.metrics().counter(metric_prefix_ + ".restarts")),
+      bad_requests_(sim.metrics().counter(
+          metric_prefix_ + ".integrity_bad_requests")),
+      digest_mismatches_(sim.metrics().counter(
+          metric_prefix_ + ".integrity_digest_mismatches")),
+      integrity_errors_(sim.metrics().counter(
+          metric_prefix_ + ".integrity_verify_failures")),
       server_time_(
           sim.metrics().sampler(metric_prefix_ + ".server_time_ns"))
 {
@@ -67,6 +80,9 @@ V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
     nic_ = std::make_unique<vi::ViNic>(sim, fabric, node_.memory(),
                                        config_.name + ".nic",
                                        nic_costs);
+    nic_->setRdmaObserver([this](const vi::ViNic::RdmaEvent &event) {
+        onRdmaEvent(event);
+    });
 
     if (config_.cache_bytes >= config_.block_size) {
         const uint64_t blocks = config_.cache_bytes / config_.block_size;
@@ -224,6 +240,33 @@ V3Server::accept(net::PortId, vi::EndpointId)
 }
 
 void
+V3Server::onRdmaEvent(const vi::ViNic::RdmaEvent &event)
+{
+    // Locate the staging slot (if any) this fragment landed in. A
+    // transfer always starts at the slot base, so a clean first
+    // fragment clears any stale taint from an earlier (retransmitted)
+    // transfer into the same slot; any damaged fragment taints it.
+    for (auto &conn : connections_) {
+        const uint64_t span =
+            static_cast<uint64_t>(config_.staging_slots) *
+            config_.staging_slot_bytes;
+        if (conn->staging_base == sim::kNullAddr ||
+            event.addr < conn->staging_base ||
+            event.addr >= conn->staging_base + span) {
+            continue;
+        }
+        const uint64_t off = event.addr - conn->staging_base;
+        const uint32_t slot =
+            static_cast<uint32_t>(off / config_.staging_slot_bytes);
+        if (off % config_.staging_slot_bytes == 0)
+            conn->staging_tainted.erase(slot);
+        if (event.corrupted)
+            conn->staging_tainted.insert(slot);
+        return;
+    }
+}
+
+void
 V3Server::repostRecv(Connection &conn, uint64_t cookie)
 {
     vi::WorkDescriptor desc;
@@ -253,6 +296,15 @@ V3Server::serviceLoop(Connection &conn)
         }
         if (!completion.control)
             continue; // not a DSA message
+        if (completion.corrupted) {
+            // The request message was damaged in flight: the header
+            // digest check fails, so the request is dropped as if the
+            // packet were lost. The credit goes back; the client's
+            // retransmission timer recovers.
+            bad_requests_.increment();
+            repostRecv(conn, completion.cookie);
+            continue;
+        }
         auto req = std::static_pointer_cast<dsa::RequestMsg>(
             completion.control);
         sim::spawn(handleRequest(conn, *req, completion.cookie));
@@ -288,7 +340,7 @@ V3Server::handleRequest(Connection &conn, dsa::RequestMsg req,
     }
 
     // Retransmission filter (exactly-once for writes, no duplicate
-    // work for reads).
+    // execution for hints).
     const auto seq_it = conn.seqs.find(req.seq);
     if (seq_it != conn.seqs.end()) {
         retransmit_hits_.increment();
@@ -298,32 +350,50 @@ V3Server::handleRequest(Connection &conn, dsa::RequestMsg req,
             node_.cpus().release();
             co_return;
         }
-        const bool ok =
-            seq_it->second == Connection::SeqState::DoneOk;
-        co_await lease.run(config_.complete_cost, CpuCat::Other);
-        postCompletion(conn, req, ok);
-        repostRecv(conn, recv_cookie);
-        node_.cpus().release();
-        co_return;
+        if (req.op != dsa::DsaOp::Read) {
+            const dsa::IoStatus replay =
+                seq_it->second == Connection::SeqState::DoneOk
+                    ? dsa::IoStatus::Ok
+                    : dsa::IoStatus::Error;
+            co_await lease.run(config_.complete_cost, CpuCat::Other);
+            postCompletion(conn, req, replay);
+            repostRecv(conn, recv_cookie);
+            node_.cpus().release();
+            co_return;
+        }
+        // Retransmitted read: the client only retransmits when it
+        // did not observe good data (lost or digest-failed), so a
+        // bare replayed status would strand it. Reads are idempotent;
+        // fall through and re-execute so the data is RDMA'd again.
     }
     conn.seqs[req.seq] = Connection::SeqState::InProgress;
 
-    bool ok = false;
+    dsa::IoStatus status = dsa::IoStatus::Error;
+    uint32_t payload_digest = 0;
+    bool digest_valid = false;
     if (req.op == dsa::DsaOp::Read) {
         reads_.increment();
-        ok = co_await doRead(conn, req, lease);
+        status = co_await doRead(conn, req, lease, payload_digest,
+                                 digest_valid);
     } else if (req.op == dsa::DsaOp::Write) {
         writes_.increment();
-        ok = co_await doWrite(conn, req, lease);
+        status = co_await doWrite(conn, req, lease);
     } else {
         hints_.increment();
-        ok = co_await doHint(req, lease);
+        status = co_await doHint(req, lease);
     }
 
-    conn.seqs[req.seq] = ok ? Connection::SeqState::DoneOk
-                            : Connection::SeqState::DoneFail;
+    if (status == dsa::IoStatus::BadDigest) {
+        // Not recorded in the dedup filter: the retransmission must
+        // re-stage and re-execute, not replay this failure.
+        conn.seqs.erase(req.seq);
+    } else {
+        conn.seqs[req.seq] = status == dsa::IoStatus::Ok
+                                 ? Connection::SeqState::DoneOk
+                                 : Connection::SeqState::DoneFail;
+    }
     co_await lease.run(config_.complete_cost, CpuCat::Other);
-    postCompletion(conn, req, ok);
+    postCompletion(conn, req, status, payload_digest, digest_valid);
     server_time_.add(static_cast<double>(sim_.now() - arrival));
     repostRecv(conn, recv_cookie);
     node_.cpus().release();
@@ -353,7 +423,8 @@ V3Server::handleHello(Connection &conn, const dsa::RequestMsg &req,
 
 void
 V3Server::postCompletion(Connection &conn, const dsa::RequestMsg &req,
-                         bool ok)
+                         dsa::IoStatus status, uint32_t payload_digest,
+                         bool digest_valid)
 {
     if (!conn.alive ||
         conn.ep->state() != vi::EndpointState::Connected) {
@@ -363,20 +434,29 @@ V3Server::postCompletion(Connection &conn, const dsa::RequestMsg &req,
         // Write the flag value into scratch, then RDMA it onto the
         // request's flag address; the data was posted on the same
         // connection first, so in-order delivery makes the flag the
-        // last thing the client observes.
-        node_.memory().writeU64(conn.flag_scratch,
-                                dsa::kFlagDone |
-                                    (ok ? dsa::kFlagOk : 0));
+        // last thing the client observes. The flag word carries the
+        // full IoStatus encoding plus the read payload digest in its
+        // upper half, so flag-mode clients verify read data end to
+        // end just like Message-mode clients do from ResponseMsg.
+        // The meta sidecar mirrors it so phantom-memory clients (no
+        // bytes to re-read) still learn the status from their
+        // RdmaEvent observer.
+        const uint64_t flag = dsa::flagValue(
+            status, digest_valid ? payload_digest : 0);
+        node_.memory().writeU64(conn.flag_scratch, flag);
         vi::WorkDescriptor desc;
         desc.local_addr = conn.flag_scratch;
         desc.len = 8;
         desc.remote_addr = req.flag_addr;
+        desc.meta = flag;
         nic_->postRdmaWrite(*conn.ep, desc, conn.flag_handle);
     } else {
         auto response = std::make_shared<dsa::ServerMsg>();
         response->kind = dsa::ServerMsg::Kind::Response;
         response->response.request_id = req.request_id;
-        response->response.ok = ok;
+        response->response.status = status;
+        response->response.payload_digest = payload_digest;
+        response->response.digest_valid = digest_valid;
         vi::WorkDescriptor desc;
         desc.local_addr = conn.reply_buf;
         desc.len = dsa::kResponseWireBytes;
@@ -385,14 +465,14 @@ V3Server::postCompletion(Connection &conn, const dsa::RequestMsg &req,
     }
 }
 
-sim::Task<bool>
+sim::Task<dsa::IoStatus>
 V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
-                 CpuLease &lease)
+                 CpuLease &lease, uint32_t &digest, bool &digest_valid)
 {
     disk::Volume *volume = volumes_.volume(req.volume);
     if (!volume || req.len == 0 ||
         req.offset + req.len > volume->capacity()) {
-        co_return false;
+        co_return dsa::IoStatus::Error;
     }
 
     if (!cache_) {
@@ -411,8 +491,24 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
             co_await volume->read(a_off, a_end - a_off, mem, tbuf);
         lease = co_await node_.cpus().acquire();
 
+        // Verify-on-read: damaged platter data must not reach the
+        // client as if it were good.
+        bool integrity_bad = false;
+        if (ok && volume->corrupt(a_off, a_end - a_off)) {
+            integrity_errors_.increment();
+            integrity_bad = true;
+        }
+
         bool sent = false;
-        if (ok && reg.has_value()) {
+        if (ok && !integrity_bad && reg.has_value()) {
+            co_await lease.run(
+                digestTicks(req.len, config_.digest_per_kb),
+                CpuCat::Other);
+            if (!mem.phantom()) {
+                digest = dsa::payloadDigest(
+                    mem, tbuf + (req.offset - a_off), req.len);
+                digest_valid = true;
+            }
             co_await lease.run(nic_->costs().doorbell, CpuCat::Other);
             vi::WorkDescriptor desc;
             desc.local_addr = tbuf + (req.offset - a_off);
@@ -426,7 +522,9 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         if (reg.has_value())
             nic_->registry().deregister(reg->handle);
         mem.free(tbuf);
-        co_return sent;
+        if (integrity_bad)
+            co_return dsa::IoStatus::IntegrityError;
+        co_return sent ? dsa::IoStatus::Ok : dsa::IoStatus::Error;
     }
 
     // Cached path: per-block lookups with miss-run coalescing.
@@ -450,6 +548,7 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
     std::vector<Transient> transients;
 
     sim::MemorySpace &mem = node_.memory();
+    bool integrity_bad = false;
     uint64_t b = first;
     while (b <= last) {
         const CacheKey key{req.volume, b};
@@ -489,9 +588,17 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
 
         node_.cpus().release();
-        const bool ok =
-            co_await volume->read(b * bs, run_bytes, mem, tbuf);
+        bool ok = co_await volume->read(b * bs, run_bytes, mem, tbuf);
         lease = co_await node_.cpus().acquire();
+
+        // Verify-on-read: a block damaged on the platter must never
+        // enter the cache (it would masquerade as a verified copy)
+        // or reach a client.
+        if (ok && volume->corrupt(b * bs, run_bytes)) {
+            integrity_errors_.increment();
+            integrity_bad = true;
+            ok = false;
+        }
 
         bool tbuf_needed = false;
         for (uint64_t bb = b; bb < run_end; ++bb) {
@@ -531,7 +638,8 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
                 nic_->registry().deregister(t.handle);
                 mem.free(t.addr);
             }
-            co_return false;
+            co_return integrity_bad ? dsa::IoStatus::IntegrityError
+                                    : dsa::IoStatus::Error;
         }
 
         if (tbuf_needed) {
@@ -546,7 +654,12 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         b = run_end;
     }
 
-    // RDMA each block's overlap with the requested range, in order.
+    // RDMA each block's overlap with the requested range, in order,
+    // accumulating the response digest over the delivered bytes
+    // (client-buffer order == refs order, so one chained CRC works).
+    co_await lease.run(digestTicks(req.len, config_.digest_per_kb),
+                       CpuCat::Other);
+    uint32_t crc = 0;
     for (const BlockRef &ref : refs) {
         const uint64_t block_start = ref.block * bs;
         const uint64_t piece_start =
@@ -559,6 +672,9 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         vi::WorkDescriptor desc;
         desc.local_addr = ref.frame + (piece_start - block_start);
         desc.len = piece_end - piece_start;
+        if (!mem.phantom())
+            crc = dsa::payloadDigest(mem, desc.local_addr, desc.len,
+                                     crc);
         desc.remote_addr =
             req.client_buffer + (piece_start - req.offset);
         vi::MemHandle handle = cache_handle_;
@@ -575,6 +691,11 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         nic_->postRdmaWrite(*conn.ep, desc, handle);
     }
 
+    if (!mem.phantom()) {
+        digest = crc;
+        digest_valid = true;
+    }
+
     for (const BlockRef &ref : refs) {
         if (ref.pinned)
             cache_->unpin(CacheKey{req.volume, ref.block});
@@ -583,10 +704,10 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         nic_->registry().deregister(t.handle);
         mem.free(t.addr);
     }
-    co_return true;
+    co_return dsa::IoStatus::Ok;
 }
 
-sim::Task<bool>
+sim::Task<dsa::IoStatus>
 V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
                   CpuLease &lease)
 {
@@ -596,7 +717,7 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
         req.offset % kSector != 0 || req.len % kSector != 0 ||
         req.staging_slot >= config_.staging_slots ||
         req.len > config_.staging_slot_bytes) {
-        co_return false;
+        co_return dsa::IoStatus::Error;
     }
 
     sim::MemorySpace &mem = node_.memory();
@@ -604,6 +725,24 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
         conn.staging_base +
         static_cast<uint64_t>(req.staging_slot) *
             config_.staging_slot_bytes;
+
+    // Verify the staged payload before the cache or the disk sees
+    // it: a block damaged on the way in must never become "the"
+    // durable copy. Taint covers phantom runs; the CRC compare
+    // additionally covers real-memory runs.
+    co_await lease.run(digestTicks(req.len, config_.digest_per_kb),
+                       CpuCat::Other);
+    const bool tainted =
+        conn.staging_tainted.erase(req.staging_slot) > 0;
+    bool digest_ok = !tainted;
+    if (digest_ok && req.digest_valid && !mem.phantom()) {
+        digest_ok = dsa::payloadDigest(mem, staging, req.len) ==
+                    req.payload_digest;
+    }
+    if (!digest_ok) {
+        digest_mismatches_.increment();
+        co_return dsa::IoStatus::BadDigest;
+    }
 
     // Update cache blocks so subsequent reads see the new data.
     if (cache_) {
@@ -644,7 +783,7 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
     // A crash between staging and commit loses the write: the node
     // is fail-stop, so nothing may reach disk after the cache died.
     if (!conn.alive)
-        co_return false;
+        co_return dsa::IoStatus::Error;
 
     // Commit to disk before completing (durability, section 5.2).
     co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
@@ -652,19 +791,19 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
     const bool ok =
         co_await volume->write(req.offset, req.len, mem, staging);
     lease = co_await node_.cpus().acquire();
-    co_return ok;
+    co_return ok ? dsa::IoStatus::Ok : dsa::IoStatus::Error;
 }
 
-sim::Task<bool>
+sim::Task<dsa::IoStatus>
 V3Server::doHint(const dsa::RequestMsg &req, CpuLease &lease)
 {
     disk::Volume *volume = volumes_.volume(req.volume);
     if (!volume || req.len == 0 ||
         req.offset + req.len > volume->capacity()) {
-        co_return false;
+        co_return dsa::IoStatus::Error;
     }
     if (!cache_)
-        co_return true; // nothing to manage; still acknowledged
+        co_return dsa::IoStatus::Ok; // nothing to manage; still acked
 
     const uint64_t bs = config_.block_size;
     const uint64_t first = req.offset / bs;
@@ -685,7 +824,7 @@ V3Server::doHint(const dsa::RequestMsg &req, CpuLease &lease)
         // Advisory only; accepted.
         break;
     }
-    co_return true;
+    co_return dsa::IoStatus::Ok;
 }
 
 sim::Task<>
@@ -723,9 +862,15 @@ V3Server::prefetchRange(uint32_t volume_id, uint64_t first,
         const sim::Addr tbuf = mem.allocate(run_bytes);
         co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
         node_.cpus().release();
-        const bool ok =
-            co_await volume->read(b * bs, run_bytes, mem, tbuf);
+        bool ok = co_await volume->read(b * bs, run_bytes, mem, tbuf);
         lease = co_await node_.cpus().acquire();
+
+        // Same verify-on-read rule as doRead: never cache a block
+        // that is damaged on disk.
+        if (ok && volume->corrupt(b * bs, run_bytes)) {
+            integrity_errors_.increment();
+            ok = false;
+        }
 
         for (uint64_t bb = b; bb < run_end; ++bb) {
             const CacheKey bkey{volume_id, bb};
@@ -757,6 +902,9 @@ V3Server::resetStats()
     reads_.reset();
     writes_.reset();
     retransmit_hits_.reset();
+    bad_requests_.reset();
+    digest_mismatches_.reset();
+    integrity_errors_.reset();
     server_time_.reset();
     if (cache_)
         cache_->resetStats();

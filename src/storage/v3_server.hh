@@ -53,6 +53,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dsa/protocol.hh"
@@ -117,6 +118,10 @@ struct V3ServerConfig
     sim::Tick complete_cost = sim::usecs(4.0);
     /** Per-KB cost of staging<->frame copies. */
     sim::Tick memcpy_per_kb = sim::usecs(0.12);
+    /** Per-KB cost of the end-to-end CRC32C digest (verify staged
+     *  write payloads, digest read responses). Charged in phantom
+     *  and real-memory runs alike; see dsa::payloadDigest. */
+    sim::Tick digest_per_kb = sim::usecs(0.04);
     /** @} */
 };
 
@@ -171,6 +176,21 @@ class V3Server : public vi::NodeFaultTarget
     uint64_t crashCount() const { return crashes_.value(); }
     uint64_t restartCount() const { return restarts_.value(); }
 
+    /** Request messages dropped because they arrived damaged. */
+    uint64_t badRequestCount() const { return bad_requests_.value(); }
+    /** Write payloads rejected by the staging digest/taint check. */
+    uint64_t
+    digestMismatchCount() const
+    {
+        return digest_mismatches_.value();
+    }
+    /** Verify-on-read hits: blocks found damaged on disk. */
+    uint64_t
+    integrityErrorCount() const
+    {
+        return integrity_errors_.value();
+    }
+
     /** Server-resident time per request: arrival at the request
      *  manager to completion post (the Figure 4 "V3 Storage Server"
      *  component). */
@@ -216,6 +236,12 @@ class V3Server : public vi::NodeFaultTarget
         /** Retransmission filter: seq -> completed ok/in-progress. */
         enum class SeqState : uint8_t { InProgress, DoneOk, DoneFail };
         std::unordered_map<uint64_t, SeqState> seqs;
+        /** Staging slots whose latest inbound RDMA transfer carried a
+         *  damaged fragment (set by the NIC's RdmaEvent observer,
+         *  consumed by doWrite). This is how phantom-memory runs —
+         *  where there are no bytes to CRC — detect payload damage;
+         *  in real-memory runs the digest check finds it too. */
+        std::unordered_set<uint32_t> staging_tainted;
         bool alive = true;
         /** NIC registrations already returned (releaseConnection). */
         bool released = false;
@@ -241,28 +267,43 @@ class V3Server : public vi::NodeFaultTarget
                             const dsa::RequestMsg &req,
                             osmodel::CpuLease lease);
 
-    /** Read data path; returns success. */
-    sim::Task<bool> doRead(Connection &conn, const dsa::RequestMsg &req,
-                           osmodel::CpuLease &lease);
+    /** Read data path. Verifies blocks against the volume's latent-
+     *  corruption oracle before they are cached or delivered, and
+     *  accumulates the response payload digest over the RDMA'd pieces
+     *  into @p digest / @p digest_valid. */
+    sim::Task<dsa::IoStatus> doRead(Connection &conn,
+                                    const dsa::RequestMsg &req,
+                                    osmodel::CpuLease &lease,
+                                    uint32_t &digest,
+                                    bool &digest_valid);
 
-    /** Write data path; returns success. */
-    sim::Task<bool> doWrite(Connection &conn,
-                            const dsa::RequestMsg &req,
-                            osmodel::CpuLease &lease);
+    /** Write data path. Checks the staged payload's digest / taint
+     *  before the cache or the disk sees it. */
+    sim::Task<dsa::IoStatus> doWrite(Connection &conn,
+                                     const dsa::RequestMsg &req,
+                                     osmodel::CpuLease &lease);
 
     /** Hint handling (cDSA advanced feature): WillNeed prefetches
      *  asynchronously, DontNeed drops blocks, Sequential is
      *  advisory. */
-    sim::Task<bool> doHint(const dsa::RequestMsg &req,
-                           osmodel::CpuLease &lease);
+    sim::Task<dsa::IoStatus> doHint(const dsa::RequestMsg &req,
+                                    osmodel::CpuLease &lease);
 
     /** Background prefetch of [first_block, last_block]. */
     sim::Task<> prefetchRange(uint32_t volume_id, uint64_t first,
                               uint64_t last);
 
-    /** Sends the completion (message or RDMA flag). */
+    /** Sends the completion (message or RDMA flag). The digest pair
+     *  covers the read data already RDMA'd to the client (Message
+     *  mode only; RdmaFlag clients detect damage via taint). */
     void postCompletion(Connection &conn, const dsa::RequestMsg &req,
-                        bool ok);
+                        dsa::IoStatus status,
+                        uint32_t payload_digest = 0,
+                        bool digest_valid = false);
+
+    /** NIC observer: maps damaged inbound RDMA fragments onto the
+     *  staging slot they landed in. */
+    void onRdmaEvent(const vi::ViNic::RdmaEvent &event);
 
     /** Re-posts the request receive buffer (returns the credit). */
     void repostRecv(Connection &conn, uint64_t cookie);
@@ -299,6 +340,9 @@ class V3Server : public vi::NodeFaultTarget
     sim::Counter &retransmit_hits_;
     sim::Counter &crashes_;
     sim::Counter &restarts_;
+    sim::Counter &bad_requests_;
+    sim::Counter &digest_mismatches_;
+    sim::Counter &integrity_errors_;
     sim::Sampler &server_time_;
 };
 

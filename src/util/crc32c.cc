@@ -1,0 +1,41 @@
+#include "crc32c.hh"
+
+#include <array>
+
+namespace v3sim::util
+{
+
+namespace
+{
+
+/** 0x1EDC6F41 reflected (CRC32C/Castagnoli). */
+constexpr uint32_t kPolynomial = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t len, uint32_t seed)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFF];
+    return ~crc;
+}
+
+} // namespace v3sim::util

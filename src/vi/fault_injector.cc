@@ -1,5 +1,7 @@
 #include "fault_injector.hh"
 
+#include <algorithm>
+
 namespace v3sim::vi
 {
 
@@ -7,6 +9,9 @@ FaultInjector::FaultInjector(sim::Simulation &sim, net::Fabric &fabric)
     : sim_(sim), fabric_(fabric),
       metric_prefix_(sim.metrics().uniquePrefix("fault")),
       dropped_(sim.metrics().counter(metric_prefix_ + ".dropped")),
+      corrupted_(sim.metrics().counter(metric_prefix_ + ".corrupted")),
+      latent_errors_(
+          sim.metrics().counter(metric_prefix_ + ".latent_errors")),
       breaks_(sim.metrics().counter(metric_prefix_ + ".breaks")),
       node_crashes_(
           sim.metrics().counter(metric_prefix_ + ".node_crashes")),
@@ -16,11 +21,16 @@ FaultInjector::FaultInjector(sim::Simulation &sim, net::Fabric &fabric)
     fabric_.setDropFilter([this](const net::Packet &packet) {
         return shouldDrop(packet);
     });
+    fabric_.setCorruptFilter([this](const net::Packet &packet) {
+        return shouldCorrupt(packet);
+    });
 }
 
 FaultInjector::~FaultInjector()
 {
     fabric_.setDropFilter(nullptr);
+    fabric_.setCorruptFilter(nullptr);
+    cancelScheduled();
 }
 
 void
@@ -46,33 +56,89 @@ FaultInjector::blackout(sim::Tick from, sim::Tick until)
 }
 
 void
+FaultInjector::corruptNext(int count,
+                           std::optional<net::PortId> towards)
+{
+    corrupt_next_ = count;
+    corrupt_towards_ = towards;
+}
+
+void
+FaultInjector::setCorruptRate(double p)
+{
+    corrupt_rate_ = p;
+    if (p > 0.0 && !corrupt_rng_.has_value())
+        corrupt_rng_ = sim_.forkRng();
+}
+
+void
+FaultInjector::corruptWindow(sim::Tick from, sim::Tick until)
+{
+    corrupt_from_ = from;
+    corrupt_until_ = until;
+}
+
+void
+FaultInjector::corruptRdmaNext(ViNic &nic, int count)
+{
+    nic.corruptNextRdma(count);
+    corrupted_.increment(static_cast<uint64_t>(count));
+}
+
+void
+FaultInjector::injectLatentError(MediaFaultTarget &media,
+                                 uint64_t offset, uint64_t len)
+{
+    media.injectLatentError(offset, len);
+    latent_errors_.increment();
+}
+
+void
+FaultInjector::setTornWriteRate(MediaFaultTarget &media, double p)
+{
+    media.setTornWriteRate(p);
+}
+
+void
+FaultInjector::track(sim::EventQueue::Handle handle)
+{
+    scheduled_.erase(std::remove_if(scheduled_.begin(),
+                                    scheduled_.end(),
+                                    [](const sim::EventQueue::Handle &h) {
+                                        return !h.pending();
+                                    }),
+                     scheduled_.end());
+    scheduled_.push_back(std::move(handle));
+}
+
+void
 FaultInjector::scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep)
 {
-    sim_.queue().scheduleAt(when, [this, &nic, ep] {
+    track(sim_.queue().scheduleAt(when, [this, &nic, ep] {
         if (ViEndpoint *endpoint = nic.endpoint(ep)) {
             breaks_.increment();
             nic.breakConnection(*endpoint);
         }
-    });
+    }));
 }
 
 void
 FaultInjector::scheduleNodeCrash(sim::Tick when, NodeFaultTarget &node)
 {
-    sim_.queue().scheduleAt(when, [this, &node] {
+    track(sim_.queue().scheduleAt(when, [this, &node] {
         node_crashes_.increment();
         node.crash();
-    });
+    }));
 }
 
 void
 FaultInjector::scheduleNodeRestart(sim::Tick when,
                                    NodeFaultTarget &node)
 {
-    sim_.queue().scheduleAt(when, [this, &node] {
+    track(sim_.queue().scheduleAt(when, [this, &node] {
         node_restarts_.increment();
         node.restart();
-    });
+    }));
 }
 
 void
@@ -84,6 +150,14 @@ FaultInjector::scheduleNodeOutage(sim::Tick from, sim::Tick until,
 }
 
 void
+FaultInjector::cancelScheduled()
+{
+    for (sim::EventQueue::Handle &handle : scheduled_)
+        handle.cancel();
+    scheduled_.clear();
+}
+
+void
 FaultInjector::clear()
 {
     drop_next_ = 0;
@@ -91,6 +165,12 @@ FaultInjector::clear()
     loss_rate_ = 0.0;
     blackout_from_ = 0;
     blackout_until_ = 0;
+    corrupt_next_ = 0;
+    corrupt_towards_.reset();
+    corrupt_rate_ = 0.0;
+    corrupt_from_ = 0;
+    corrupt_until_ = 0;
+    cancelScheduled();
 }
 
 bool
@@ -113,6 +193,30 @@ FaultInjector::shouldDrop(const net::Packet &packet)
     if (drop)
         dropped_.increment();
     return drop;
+}
+
+bool
+FaultInjector::shouldCorrupt(const net::Packet &packet)
+{
+    bool corrupt = false;
+
+    if (corrupt_next_ > 0 &&
+        (!corrupt_towards_ || packet.dst == *corrupt_towards_)) {
+        --corrupt_next_;
+        corrupt = true;
+    }
+    if (!corrupt && corrupt_rate_ > 0.0 &&
+        corrupt_rng_->bernoulli(corrupt_rate_)) {
+        corrupt = true;
+    }
+    if (!corrupt && sim_.now() >= corrupt_from_ &&
+        sim_.now() < corrupt_until_) {
+        corrupt = true;
+    }
+
+    if (corrupt)
+        corrupted_.increment();
+    return corrupt;
 }
 
 } // namespace v3sim::vi

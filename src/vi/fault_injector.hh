@@ -1,17 +1,27 @@
 /**
  * @file
- * Structured fault injection for the VI fabric.
+ * Structured fault injection for the VI fabric and storage media.
  *
  * DSA exists because VI gives no reliability guarantees (section
  * 2.2: "most existing VI implementations do not provide strong
  * reliability guarantees"), so exercising loss and failure paths is
  * first-class in this reproduction. The injector composes the common
- * patterns over the fabric's drop filter and the NIC's
- * connection-break hook, in escalating order of severity:
+ * patterns over the fabric's drop/corrupt filters, the NIC's
+ * connection-break hook, and the disks' media-fault hooks, in
+ * escalating order of severity:
  *
  *  - dropNext(n): lose the next n packets (optionally one direction);
  *  - lossRate(p): Bernoulli loss until cleared;
  *  - blackout(from, until): total loss inside a time window;
+ *  - corruptNext(n) / corruptRate(p) / corruptWindow(from, until):
+ *    the same three patterns, but the packet is delivered with a
+ *    damaged payload instead of dropped — exercising the end-to-end
+ *    digest machinery instead of retransmission timers;
+ *  - corruptRdmaNext(nic, n): damage the next n inbound RDMA
+ *    fragments at a specific NIC's DMA engine (past the link CRC);
+ *  - injectLatentError / setTornWriteRate: silent media corruption
+ *    on a disk (vi::MediaFaultTarget), detected only by
+ *    verify-on-read and the scrubber;
  *  - scheduleBreak(t, nic, ep): silent connection kill at time t;
  *  - scheduleNodeCrash/Restart/Outage(t, node): whole-node failure —
  *    the node drops its volatile state and leaves the fabric, then
@@ -19,10 +29,11 @@
  *    so the injector stays independent of the storage layer.
  *
  * All active rules apply simultaneously (a packet is dropped if any
+ * drop rule says so; a surviving packet is corrupted if any corrupt
  * rule says so). Statistics go into the simulation's MetricRegistry
- * under a unique "fault" prefix (dropped, breaks, node_crashes,
- * node_restarts) so availability experiments can snapshot what was
- * injected alongside what the system did about it.
+ * under a unique "fault" prefix (dropped, corrupted, breaks,
+ * latent_errors, node_crashes, node_restarts) so experiments can
+ * snapshot what was injected alongside what the system did about it.
  */
 
 #ifndef V3SIM_VI_FAULT_INJECTOR_HH
@@ -31,37 +42,25 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/fabric.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
+#include "vi/fault_targets.hh"
 #include "vi/vi_nic.hh"
 
 namespace v3sim::vi
 {
-
-/**
- * A node the injector can crash and restart. Implemented by
- * storage::V3Server (declared here so vi does not depend on storage).
- * crash() must be idempotent and drop all volatile state; restart()
- * must bring the node back cold and re-listening.
- */
-class NodeFaultTarget
-{
-  public:
-    virtual ~NodeFaultTarget() = default;
-    virtual void crash() = 0;
-    virtual void restart() = 0;
-};
 
 /** Composable fault patterns over one fabric. */
 class FaultInjector
 {
   public:
     /**
-     * Installs itself as the fabric's drop filter. Only one
-     * injector per fabric; it replaces any existing filter.
+     * Installs itself as the fabric's drop and corrupt filters. Only
+     * one injector per fabric; it replaces any existing filters.
      */
     FaultInjector(sim::Simulation &sim, net::Fabric &fabric);
 
@@ -83,6 +82,34 @@ class FaultInjector
     /** Drops everything in [from, until) of simulated time. */
     void blackout(sim::Tick from, sim::Tick until);
 
+    /**
+     * Damages the payload of the next @p count delivered packets.
+     * When @p towards is set, only packets destined for that port
+     * count. Corruption never drops: the packet arrives, the link
+     * CRC "passed", and only end-to-end digests can tell.
+     */
+    void corruptNext(int count,
+                     std::optional<net::PortId> towards = std::nullopt);
+
+    /** Random per-packet corruption with probability @p p until
+     *  cleared (0 clears). Independent of the loss process. */
+    void setCorruptRate(double p);
+
+    /** Corrupts everything delivered in [from, until). */
+    void corruptWindow(sim::Tick from, sim::Tick until);
+
+    /** Damages the next @p count inbound RDMA fragments at @p nic's
+     *  DMA engine (see ViNic::corruptNextRdma). */
+    void corruptRdmaNext(ViNic &nic, int count);
+
+    /** Silently corrupts [offset, offset+len) on @p media and counts
+     *  it under fault.latent_errors. */
+    void injectLatentError(MediaFaultTarget &media, uint64_t offset,
+                           uint64_t len);
+
+    /** Makes each write on @p media tear with probability @p p. */
+    void setTornWriteRate(MediaFaultTarget &media, double p);
+
     /** Schedules a silent connection break at absolute time @p when. */
     void scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep);
 
@@ -99,11 +126,24 @@ class FaultInjector
     void scheduleNodeOutage(sim::Tick from, sim::Tick until,
                             NodeFaultTarget &node);
 
-    /** Removes every active drop rule (scheduled events still fire). */
+    /** Cancels every scheduled-but-not-yet-fired break/crash/restart. */
+    void cancelScheduled();
+
+    /**
+     * Removes every active drop and corrupt rule and cancels pending
+     * scheduled faults (breaks, crashes, restarts). After clear() the
+     * injector is fully inert.
+     */
     void clear();
 
     /** Packets dropped by this injector. */
     uint64_t droppedCount() const { return dropped_.value(); }
+
+    /** Packets corrupted by this injector's wire rules. */
+    uint64_t corruptedCount() const { return corrupted_.value(); }
+
+    /** Latent sector errors injected. */
+    uint64_t latentErrorCount() const { return latent_errors_.value(); }
 
     /** Connection breaks executed. */
     uint64_t breakCount() const { return breaks_.value(); }
@@ -116,6 +156,10 @@ class FaultInjector
 
   private:
     bool shouldDrop(const net::Packet &packet);
+    bool shouldCorrupt(const net::Packet &packet);
+
+    /** Remembers a scheduled fault so clear() can cancel it. */
+    void track(sim::EventQueue::Handle handle);
 
     sim::Simulation &sim_;
     net::Fabric &fabric_;
@@ -123,6 +167,10 @@ class FaultInjector
      *  not consume an RNG stream, or merely constructing one would
      *  perturb every fault-free scenario's randomness. */
     std::optional<sim::Rng> rng_;
+    /** Same lazy-fork rule, separate stream: the corruption process
+     *  must not perturb the loss process (and vice versa), so runs
+     *  that only differ in one rate stay comparable. */
+    std::optional<sim::Rng> corrupt_rng_;
 
     int drop_next_ = 0;
     std::optional<net::PortId> drop_towards_;
@@ -130,9 +178,21 @@ class FaultInjector
     sim::Tick blackout_from_ = 0;
     sim::Tick blackout_until_ = 0;
 
+    int corrupt_next_ = 0;
+    std::optional<net::PortId> corrupt_towards_;
+    double corrupt_rate_ = 0.0;
+    sim::Tick corrupt_from_ = 0;
+    sim::Tick corrupt_until_ = 0;
+
+    /** Handles of scheduled break/crash/restart events; fired ones
+     *  are pruned opportunistically on the next track(). */
+    std::vector<sim::EventQueue::Handle> scheduled_;
+
     // Prefix member must precede the metric references (init order).
     std::string metric_prefix_;
     sim::Counter &dropped_;
+    sim::Counter &corrupted_;
+    sim::Counter &latent_errors_;
     sim::Counter &breaks_;
     sim::Counter &node_crashes_;
     sim::Counter &node_restarts_;

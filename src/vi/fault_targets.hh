@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Abstract targets the fault injector can act on.
+ *
+ * The injector lives in the vi layer but injects faults into layers
+ * above and below it (storage nodes, disks). These interfaces keep
+ * the dependency arrow pointing the right way: the concrete targets
+ * (storage::V3Server, disk::Disk) implement them, and vi never
+ * includes storage or disk headers.
+ */
+
+#ifndef V3SIM_VI_FAULT_TARGETS_HH
+#define V3SIM_VI_FAULT_TARGETS_HH
+
+#include <cstdint>
+
+namespace v3sim::vi
+{
+
+/**
+ * A node the injector can crash and restart. Implemented by
+ * storage::V3Server. crash() must be idempotent and drop all volatile
+ * state; restart() must bring the node back cold and re-listening.
+ */
+class NodeFaultTarget
+{
+  public:
+    virtual ~NodeFaultTarget() = default;
+    virtual void crash() = 0;
+    virtual void restart() = 0;
+};
+
+/**
+ * A storage medium the injector can silently damage. Implemented by
+ * disk::Disk. These model the failure classes that reach disks in
+ * the field *without* any I/O error being reported:
+ *
+ *  - latent sector errors: a sector's contents rot in place (media
+ *    defect, misdirected or dropped write by the firmware) and
+ *    nothing notices until something reads and verifies it;
+ *  - torn writes: power is lost mid-write and only a prefix of the
+ *    sectors reaches the platter, leaving the tail stale/garbled.
+ */
+class MediaFaultTarget
+{
+  public:
+    virtual ~MediaFaultTarget() = default;
+
+    /** Silently corrupts the sectors overlapping [offset, offset+len).
+     *  Subsequent reads see damaged data; no error is reported. */
+    virtual void injectLatentError(uint64_t offset, uint64_t len) = 0;
+
+    /** Each committed write independently tears with probability
+     *  @p p (its tail sectors end up corrupt). 0 disables. */
+    virtual void setTornWriteRate(double p) = 0;
+};
+
+} // namespace v3sim::vi
+
+#endif // V3SIM_VI_FAULT_TARGETS_HH

@@ -78,7 +78,15 @@ struct ViCosts
     /** Maximum wire packet (cLan: 64K - 64 bytes). */
     uint64_t max_packet_bytes = 64 * util::kKiB - 64;
 
-    /** Wire overhead bytes added per packet (headers/CRC). */
+    /**
+     * Wire overhead bytes added per packet (headers/CRC). This is the
+     * *link-level* CRC the NIC hardware checks and strips on every
+     * hop; it protects a single wire segment only. It is distinct
+     * from — and no substitute for — the *end-to-end* CRC32C digests
+     * the DSA protocol carries (dsa/protocol.hh, util/crc32c.hh),
+     * which survive NIC buffers, DMA engines and staging copies and
+     * are the detection layer of the integrity subsystem.
+     */
     uint64_t packet_header_bytes = 64;
 };
 

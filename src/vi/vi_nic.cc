@@ -38,7 +38,9 @@ ViNic::ViNic(sim::Simulation &sim, net::Fabric &fabric,
       recv_overruns_(
           sim.metrics().counter(metric_prefix_ + ".recv_overruns")),
       protection_errors_(sim.metrics().counter(metric_prefix_ +
-                                               ".protection_errors"))
+                                               ".protection_errors")),
+      packets_corrupted_(sim.metrics().counter(metric_prefix_ +
+                                               ".packets_corrupted"))
 {
     port_ = fabric_.attach(
         [this](net::Packet packet) { onPacket(std::move(packet)); },
@@ -208,6 +210,7 @@ ViNic::transmit(ViEndpoint &ep, const WorkDescriptor &desc,
         msg->last = last;
         msg->has_immediate = desc.has_immediate;
         msg->immediate = desc.immediate;
+        msg->meta = desc.meta;
         if (last)
             msg->control = desc.control;
         if (kind == WireMsg::Kind::Rdma)
@@ -282,6 +285,17 @@ ViNic::sendControl(net::PortId dst, WireMsg msg)
 }
 
 void
+ViNic::applyCorruption(WireMsg &msg)
+{
+    msg.corrupted = true;
+    packets_corrupted_.increment();
+    // Damage a deterministic byte so real-memory runs see data that
+    // truly differs; phantom runs rely on the corrupted flag alone.
+    if (!msg.data.empty())
+        msg.data[msg.data.size() / 2] ^= 0x40;
+}
+
+void
 ViNic::onPacket(net::Packet packet)
 {
     packets_received_.increment();
@@ -289,6 +303,18 @@ ViNic::onPacket(net::Packet packet)
         costs_.nic_rx_processing,
         [this, packet = std::move(packet)]() mutable {
             auto msg = std::static_pointer_cast<WireMsg>(packet.payload);
+            // Wire-level injection marks the packet; NIC-level
+            // injection (bad DMA) hits inbound RDMA fragments after
+            // the link CRC has already been checked and stripped.
+            bool corrupt = packet.corrupted;
+            if (corrupt_next_rdma_ > 0 &&
+                (msg->kind == WireMsg::Kind::Rdma ||
+                 msg->kind == WireMsg::Kind::RdmaReadResp)) {
+                --corrupt_next_rdma_;
+                corrupt = true;
+            }
+            if (corrupt)
+                applyCorruption(*msg);
             switch (msg->kind) {
               case WireMsg::Kind::Send:
                 handleSendMsg(*msg);
@@ -390,6 +416,7 @@ ViNic::handleSendMsg(const WireMsg &msg)
         ep->recv_queue_.pop_front();
         ep->inbound_.received = 0;
         ep->inbound_.active = true;
+        ep->inbound_.corrupted = false;
     }
 
     if (msg.offset != ep->inbound_.received) {
@@ -405,6 +432,8 @@ ViNic::handleSendMsg(const WireMsg &msg)
                       msg.data.data(), msg.data.size());
     }
     ep->inbound_.received += msg.frag_len;
+    if (msg.corrupted)
+        ep->inbound_.corrupted = true;
 
     if (msg.last) {
         WorkCompletion completion;
@@ -415,6 +444,7 @@ ViNic::handleSendMsg(const WireMsg &msg)
         completion.len = msg.total_len;
         completion.has_immediate = msg.has_immediate;
         completion.immediate = msg.immediate;
+        completion.corrupted = ep->inbound_.corrupted;
         completion.control = msg.control;
         ep->inbound_.active = false;
         if (ep->recv_cq_)
@@ -443,8 +473,15 @@ ViNic::handleRdmaMsg(const WireMsg &msg)
     if (!msg.data.empty())
         memory_.write(msg.remote_addr, msg.data.data(),
                       msg.data.size());
-    if (rdma_observer_)
-        rdma_observer_(msg.remote_addr, msg.frag_len, msg.last);
+    if (rdma_observer_) {
+        RdmaEvent event;
+        event.addr = msg.remote_addr;
+        event.len = msg.frag_len;
+        event.last = msg.last;
+        event.corrupted = msg.corrupted;
+        event.meta = msg.meta;
+        rdma_observer_(event);
+    }
 
     if (msg.last && msg.has_immediate) {
         // RDMA-write-with-immediate consumes one receive descriptor.
@@ -464,6 +501,7 @@ ViNic::handleRdmaMsg(const WireMsg &msg)
         completion.len = msg.total_len;
         completion.has_immediate = true;
         completion.immediate = msg.immediate;
+        completion.corrupted = msg.corrupted;
         completion.control = msg.control;
         if (ep->recv_cq_)
             ep->recv_cq_->push(completion);
@@ -536,9 +574,15 @@ ViNic::handleRdmaReadResp(const WireMsg &msg)
         memory_.write(msg.read_dest + msg.offset, msg.data.data(),
                       msg.data.size());
     }
-    if (rdma_observer_)
-        rdma_observer_(msg.read_dest + msg.offset, msg.frag_len,
-                       msg.last);
+    if (rdma_observer_) {
+        RdmaEvent event;
+        event.addr = msg.read_dest + msg.offset;
+        event.len = msg.frag_len;
+        event.last = msg.last;
+        event.corrupted = msg.corrupted;
+        event.meta = msg.meta;
+        rdma_observer_(event);
+    }
     if (msg.last && ep->recv_cq_) {
         WorkCompletion completion;
         completion.type = WorkType::RdmaRead;
@@ -546,6 +590,7 @@ ViNic::handleRdmaReadResp(const WireMsg &msg)
         completion.endpoint = ep->id_;
         completion.cookie = msg.read_cookie;
         completion.len = msg.total_len;
+        completion.corrupted = msg.corrupted;
         ep->recv_cq_->push(completion);
     }
 }

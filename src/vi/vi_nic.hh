@@ -111,6 +111,8 @@ class ViEndpoint
         WorkDescriptor desc;
         uint64_t received = 0;
         bool active = false;
+        /** Any fragment so far arrived damaged. */
+        bool corrupted = false;
     };
     InboundSend inbound_;
 };
@@ -174,20 +176,40 @@ class ViNic
      */
     void breakConnection(ViEndpoint &ep);
 
+    /** One inbound RDMA fragment that landed in this host's memory. */
+    struct RdmaEvent
+    {
+        sim::Addr addr = sim::kNullAddr; ///< where it landed
+        uint64_t len = 0;                ///< fragment bytes
+        bool last = true;                ///< last fragment of transfer
+        bool corrupted = false;          ///< damaged in flight
+        uint64_t meta = 0; ///< sender's WorkDescriptor::meta sidecar
+    };
+
     /**
      * Observer invoked whenever an inbound RDMA write lands in this
-     * host's memory (per fragment). cDSA uses it to implement polled
-     * completion flags in a way that also works with phantom memory:
-     * the poller's flag state is updated by the observer rather than
-     * by re-reading bytes.
+     * host's memory (once per fragment). cDSA uses it to implement
+     * polled completion flags in a way that also works with phantom
+     * memory: the poller's flag state is updated by the observer
+     * rather than by re-reading bytes. The integrity layer uses the
+     * per-fragment corrupted bit to taint client buffers and server
+     * staging slots touched by damaged RDMA traffic.
      */
-    using RdmaObserver =
-        std::function<void(sim::Addr addr, uint64_t len, bool last)>;
+    using RdmaObserver = std::function<void(const RdmaEvent &)>;
 
     void setRdmaObserver(RdmaObserver observer)
     {
         rdma_observer_ = std::move(observer);
     }
+
+    /**
+     * Fault injection: damages the next @p count inbound RDMA
+     * fragments (RDMA writes and RDMA-read responses) as they DMA
+     * into this host's memory — modelling a bad NIC receive buffer or
+     * DMA engine, the corruption class the link CRC cannot see at
+     * all because it happens after the CRC check.
+     */
+    void corruptNextRdma(int count) { corrupt_next_rdma_ += count; }
 
     /**
      * Posts a receive descriptor. The buffer must be registered.
@@ -232,6 +254,11 @@ class ViNic
     {
         return protection_errors_.value();
     }
+    /** Inbound packets this NIC delivered with damaged payloads. */
+    uint64_t packetsCorrupted() const
+    {
+        return packets_corrupted_.value();
+    }
     /** @} */
 
   private:
@@ -262,6 +289,8 @@ class ViNic
         uint64_t read_cookie = 0;               // RDMA-read match
         bool has_immediate = false;
         uint32_t immediate = 0;
+        uint64_t meta = 0; // WorkDescriptor::meta sidecar
+        bool corrupted = false; // damaged in flight (fault injection)
         std::vector<uint8_t> data; // empty when memory is phantom
         std::shared_ptr<void> control; // protocol sidecar
     };
@@ -274,6 +303,11 @@ class ViNic
     void sendControl(net::PortId dst, WireMsg msg);
 
     void onPacket(net::Packet packet);
+
+    /** Marks @p msg corrupted and, when it carries real bytes, flips
+     *  one of them so software-visible data actually differs. */
+    void applyCorruption(WireMsg &msg);
+
     void handleControl(net::PortId src_port, const WireMsg &msg);
     void handleSendMsg(const WireMsg &msg);
     void handleRdmaMsg(const WireMsg &msg);
@@ -300,6 +334,9 @@ class ViNic
     AcceptHandler accept_handler_;
     RdmaObserver rdma_observer_;
 
+    /** Pending corruptNextRdma() injections. */
+    int corrupt_next_rdma_ = 0;
+
     /// Registry path prefix ("nic.<name>", uniquified); must precede
     /// the metric references so it is initialised first.
     std::string metric_prefix_;
@@ -308,6 +345,7 @@ class ViNic
     sim::Counter &packets_received_;
     sim::Counter &recv_overruns_;
     sim::Counter &protection_errors_;
+    sim::Counter &packets_corrupted_;
 };
 
 } // namespace v3sim::vi

@@ -76,6 +76,13 @@ struct WorkDescriptor
     bool has_immediate = false;
     uint32_t immediate = 0;
     /**
+     * Simulation-level scalar sidecar surfaced in the receiver's
+     * RdmaEvent. Protocol layers use it to carry the semantic value
+     * of an RDMA-written word (cDSA completion-flag bits) so pollers
+     * keep working when host memory runs in phantom mode.
+     */
+    uint64_t meta = 0;
+    /**
      * Simulation-level sidecar carried with the message and surfaced
      * in the remote completion. Protocol layers attach their typed
      * request/response structs here so control traffic stays parseable
@@ -95,6 +102,15 @@ struct WorkCompletion
     uint64_t len = 0;      ///< bytes transferred
     uint32_t immediate = 0;
     bool has_immediate = false;
+    /**
+     * Fault injection: some fragment of this message was damaged in
+     * flight. The NIC model flips payload bytes when memory is real,
+     * and always raises this flag so phantom-memory runs observe the
+     * same corruption the real bytes would show. Consumers that care
+     * about integrity must treat the data as suspect and fall back on
+     * end-to-end digests / retransmission.
+     */
+    bool corrupted = false;
     /** Sender-attached sidecar (see WorkDescriptor::control). */
     std::shared_ptr<void> control;
 };

@@ -156,6 +156,39 @@ TEST_F(FaultInjectorTest, WritesStayExactlyOnceUnderLoss)
     EXPECT_EQ(server_->writeCount(), 20u);
 }
 
+TEST_F(FaultInjectorTest, ClearCancelsScheduled)
+{
+    // Arm a connection break and a whole node outage in the near
+    // future, then clear() before any of them fire: the run must be
+    // completely fault-free, with no crash, restart, break or
+    // reconnect ever happening.
+    injector_.scheduleBreak(sim_.now() + sim::msecs(2), *nic_, 0);
+    injector_.scheduleNodeOutage(sim_.now() + sim::msecs(4),
+                                 sim_.now() + sim::msecs(8),
+                                 *server_);
+    injector_.clear();
+    EXPECT_EQ(runIos(20), 20);
+    EXPECT_EQ(injector_.breakCount(), 0u);
+    EXPECT_EQ(injector_.nodeCrashCount(), 0u);
+    EXPECT_EQ(injector_.nodeRestartCount(), 0u);
+    EXPECT_EQ(server_->crashCount(), 0u);
+    EXPECT_EQ(server_->restartCount(), 0u);
+    EXPECT_EQ(client_->reconnectCount(), 0u);
+    EXPECT_EQ(client_->retransmitCount(), 0u);
+}
+
+TEST_F(FaultInjectorTest, CorruptedPacketsRecoveredByDigests)
+{
+    // Corruption delivers the packet (the link CRC "passed"); only
+    // the end-to-end digest/taint machinery can tell, and recovery
+    // is by request-level retransmission, exactly as for loss.
+    injector_.corruptNext(4);
+    EXPECT_EQ(runIos(30), 30);
+    EXPECT_EQ(injector_.corruptedCount(), 4u);
+    EXPECT_EQ(injector_.droppedCount(), 0u);
+    EXPECT_GE(client_->retransmitCount(), 1u);
+}
+
 TEST_F(FaultInjectorTest, NodeOutageRiddenThroughByReconnect)
 {
     // Crash the node for 35 ms mid-run. The client exhausts
@@ -305,6 +338,93 @@ TEST(FaultInjectorDeterminism, SameSeedSameScheduleSameMetrics)
     // should differ (guards against toJson() ignoring the run).
     const std::string c = runScriptedOutage(203);
     EXPECT_NE(a, c);
+}
+
+/**
+ * Builds a full stack and runs a fixed workload with wire corruption
+ * at @p corrupt_rate plus one cold latent sector error, returning the
+ * final metrics snapshot. With @p arm_then_clear, the run is instead
+ * fault-free but a corruption rule is set and cleared first — which
+ * must leave the run byte-identical to one that never armed it.
+ */
+std::string
+runScriptedCorruption(uint64_t seed, double corrupt_rate,
+                      bool arm_then_clear = false)
+{
+    sim::Simulation sim(seed);
+    net::Fabric fabric(sim.queue());
+    FaultInjector injector(sim, fabric);
+    osmodel::Node host(sim, osmodel::NodeConfig{.name = "db",
+                                                .cpus = 4});
+    storage::V3ServerConfig config;
+    config.cache_bytes = 4ull * 1024 * 1024;
+    storage::V3Server server(sim, fabric, config);
+    auto disks = server.diskManager().addDisks(
+        disk::DiskSpec::scsi10k(), "d", 2);
+    const uint32_t volume =
+        server.volumeManager().addStripedVolume(disks, 64 * 1024);
+    server.start();
+    ViNic nic(sim, fabric, host.memory(), "nic");
+    dsa::DsaConfig dsa_config;
+    dsa_config.retransmit_timeout = sim::msecs(8);
+    dsa_config.max_retransmits = 3;
+    dsa_config.reconnect_delay = sim::msecs(2);
+    dsa::DsaClient client(dsa::DsaImpl::Cdsa, host, nic,
+                          server.nic().port(), volume, dsa_config);
+    if (arm_then_clear) {
+        // Fork the lazy corruption RNG, then fully disarm it.
+        injector.setCorruptRate(0.5);
+        injector.corruptNext(3);
+        injector.clear();
+    } else if (corrupt_rate > 0.0) {
+        injector.setCorruptRate(corrupt_rate);
+        // Cold latent damage outside the workload's footprint: the
+        // injection itself must be deterministic and inert.
+        injector.injectLatentError(server.diskManager().disk(0),
+                                   128 * 1024, 8192);
+    }
+    const sim::Addr buffer = host.memory().allocate(8192);
+    sim::spawn([](sim::Simulation &s, dsa::DsaClient &c,
+                  sim::Addr buf) -> Task<> {
+        if (!co_await c.connect())
+            co_return;
+        for (int i = 0; i < 50; ++i) {
+            const uint64_t offset =
+                static_cast<uint64_t>(i % 16) * 8192;
+            if (i % 3 == 0)
+                co_await c.write(offset, 8192, buf);
+            else
+                co_await c.read(offset, 8192, buf);
+            co_await s.sleep(sim::usecs(500));
+        }
+    }(sim, client, buffer));
+    sim.run();
+    return sim.metrics().toJson();
+}
+
+TEST(FaultInjectorDeterminism, SameSeedSameCorruptionSameMetrics)
+{
+    // The corruption process (its own lazily forked RNG stream) must
+    // be as reproducible as the loss process: identical seeds give
+    // byte-identical metrics, different seeds corrupt differently.
+    const std::string a = runScriptedCorruption(31, 0.05);
+    const std::string b = runScriptedCorruption(31, 0.05);
+    EXPECT_EQ(a, b);
+
+    const std::string c = runScriptedCorruption(32, 0.05);
+    EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorDeterminism, ClearedCorruptionRuleDoesNotPerturb)
+{
+    // Arming a corruption rule forks the injector's corruption RNG;
+    // clearing it before any packet flows must leave the run
+    // indistinguishable from one where the rule never existed — the
+    // fork draws from no stream any other component uses.
+    const std::string pristine = runScriptedCorruption(31, 0.0);
+    const std::string armed_cleared =
+        runScriptedCorruption(31, 0.0, /*arm_then_clear=*/true);
+    EXPECT_EQ(pristine, armed_cleared);
 }
 
 } // namespace
