@@ -125,8 +125,26 @@ Disk::submit(uint64_t offset, uint64_t len, bool is_write,
     assert(offset + len <= spec_.capacity_bytes);
     queue_.push_back(
         Command{offset, len, is_write, sim_.now(), std::move(done)});
-    if (!busy_)
-        startNext();
+    scheduleStart();
+}
+
+void
+Disk::scheduleStart()
+{
+    if (busy_ || start_scheduled_ || queue_.empty())
+        return;
+    start_scheduled_ = true;
+    // Deferred to the tick's final band (same tick, zero cost) so
+    // every same-tick arrival — zero-delay submission chains included
+    // — is enqueued before the scheduler picks: the pick, and the
+    // head movement and rotational-rng draw sequence that follow from
+    // it, become a function of the *set* of queued requests, not of
+    // their (tie-shuffled) arrival order. See DESIGN.md §8.3.
+    sim_.queue().scheduleFinal([this] {
+        start_scheduled_ = false;
+        if (!busy_)
+            startNext();
+    });
 }
 
 sim::Task<>
@@ -181,24 +199,48 @@ Disk::setTornWriteRate(double p)
         torn_rng_ = sim_.forkRng();
 }
 
+bool
+Disk::commandBefore(const Command &a, const Command &b)
+{
+    // Deterministic same-priority order: arrival tick, then offset,
+    // then shape. Same-tick arrivals land in the queue in an order
+    // the determinism contract treats as unspecified (tie-shuffle
+    // permutes it), so no pick may depend on queue position alone.
+    if (a.enqueued != b.enqueued)
+        return a.enqueued < b.enqueued;
+    if (a.offset != b.offset)
+        return a.offset < b.offset;
+    if (a.len != b.len)
+        return a.len < b.len;
+    return a.is_write < b.is_write;
+}
+
 size_t
 Disk::pickNext()
 {
+    // FIFO stays strict arrival order: within one event, submission
+    // order is causal (program order), and no production path uses
+    // FIFO — the determinism contract's shuffled benches all run the
+    // Elevator policy below.
     if (policy_ == SchedPolicy::Fifo || queue_.size() == 1)
         return 0;
 
     // C-LOOK: the lowest offset at or above the head; if none, wrap
-    // to the lowest offset overall.
+    // to the lowest offset overall. Offset ties break via
+    // commandBefore, never via queue position.
+    auto better = [this](size_t i, size_t best) {
+        if (queue_[i].offset != queue_[best].offset)
+            return queue_[i].offset < queue_[best].offset;
+        return commandBefore(queue_[i], queue_[best]);
+    };
     size_t best_up = queue_.size();
     size_t best_wrap = 0;
     for (size_t i = 0; i < queue_.size(); ++i) {
         if (queue_[i].offset >= head_pos_) {
-            if (best_up == queue_.size() ||
-                queue_[i].offset < queue_[best_up].offset) {
+            if (best_up == queue_.size() || better(i, best_up))
                 best_up = i;
-            }
         }
-        if (queue_[i].offset < queue_[best_wrap].offset)
+        if (i > 0 && better(i, best_wrap))
             best_wrap = i;
     }
     return best_up != queue_.size() ? best_up : best_wrap;
@@ -255,8 +297,11 @@ Disk::startNext()
         completed_.increment();
         busy_ = false;
         busy_integral_.set(sim_.now(), 0.0);
-        if (!queue_.empty())
-            startNext();
+        // Deferred like submit's kick (see scheduleStart): a
+        // completion and new arrivals on the same tick must all be
+        // visible before the next pick. done() may enqueue more
+        // work this tick; it precedes the pick too.
+        scheduleStart();
         cmd.done();
     });
 }

@@ -162,8 +162,17 @@ class Disk : public vi::MediaFaultTarget
         std::function<void()> done;
     };
 
+    /** Deterministic order for same-priority commands (arrival tick,
+     *  then offset/shape — never queue position, which same-tick
+     *  races make unspecified). */
+    static bool commandBefore(const Command &a, const Command &b);
+
     /** Picks the next command index per the scheduling policy. */
     size_t pickNext();
+
+    /** Schedules a zero-delay service-start pop (coalesced), so every
+     *  same-tick arrival is queued before the pick. */
+    void scheduleStart();
 
     void startNext();
     sim::Tick serviceTime(const Command &cmd);
@@ -184,6 +193,7 @@ class Disk : public vi::MediaFaultTarget
 
     std::deque<Command> queue_;
     bool busy_ = false;
+    bool start_scheduled_ = false;
     uint64_t head_pos_ = 0; ///< byte offset of the head
 
     /// Registry path prefix ("disk.<name>", uniquified); must precede

@@ -46,6 +46,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -311,8 +312,12 @@ class DsaClient : public BlockDevice
 
     uint64_t next_id_ = 1;
     uint64_t next_seq_ = 0;
-    std::unordered_map<uint64_t, PendingIo *> pending_;
+    /// Ordered by io id (issue order): reconnect replay collection
+    /// and RDMA-taint scans iterate it, so order must be
+    /// deterministic (DESIGN.md §8).
+    std::map<uint64_t, PendingIo *> pending_;
     std::set<uint64_t> outstanding_seqs_;
+    /// Point lookups only (flag index -> io id); never iterated.
     std::unordered_map<uint32_t, uint64_t> flag_to_io_;
     sim::Completion<bool> *connect_waiter_ = nullptr;
     sim::Completion<bool> *hello_waiter_ = nullptr;

@@ -158,7 +158,7 @@ struct ResponseMsg
     /** See RequestMsg::digest_valid. */
     bool digest_valid = false;
 
-    bool ok() const { return status == IoStatus::Ok; }
+    [[nodiscard]] bool ok() const { return status == IoStatus::Ok; }
 };
 
 /** Server-to-client hello acknowledgement. */
@@ -207,13 +207,14 @@ constexpr uint64_t kFlagBadDigest = 8;
  *  upper 32 bits carry @p payload_digest so RdmaFlag completions get
  *  the same end-to-end read verification Message completions get
  *  from ResponseMsg::payload_digest (0 = no digest, phantom runs). */
-uint64_t flagValue(IoStatus status, uint32_t payload_digest = 0);
+[[nodiscard]] uint64_t flagValue(IoStatus status,
+                                 uint32_t payload_digest = 0);
 
 /** Inverse of flagValue; assumes kFlagDone is set. */
-IoStatus statusFromFlag(uint64_t flag);
+[[nodiscard]] IoStatus statusFromFlag(uint64_t flag);
 
 /** The payload digest packed into a completion flag (0 = none). */
-constexpr uint32_t
+[[nodiscard]] constexpr uint32_t
 digestFromFlag(uint64_t flag)
 {
     return static_cast<uint32_t>(flag >> 32);

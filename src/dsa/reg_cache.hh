@@ -18,8 +18,8 @@
 #define V3SIM_DSA_REG_CACHE_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -135,7 +135,9 @@ class RegCache
     vi::MemoryRegistry &registry_;
     bool pre_pinned_;
     bool batched_;
-    std::unordered_map<uint32_t, RegionState> regions_;
+    /// Ordered by region id: flushReleased() iterates (and charges
+    /// deregistration costs) in a deterministic order.
+    std::map<uint32_t, RegionState> regions_;
     sim::Counter forced_flushes_;
 };
 

@@ -5,28 +5,6 @@
 namespace v3sim::osmodel
 {
 
-namespace
-{
-
-/** Awaitable that parks the coroutine on the lock's wait queue. */
-struct LockWait
-{
-    SimLock *lock;
-    std::deque<std::coroutine_handle<>> *waiters;
-
-    bool await_ready() const { return false; }
-
-    void
-    await_suspend(std::coroutine_handle<> h) const
-    {
-        waiters->push_back(h);
-    }
-
-    void await_resume() const {}
-};
-
-} // namespace
-
 SimLock::SimLock(sim::Simulation &sim, const HostCosts &costs,
                  std::string name)
     : sim_(sim), costs_(costs), name_(std::move(name))
@@ -43,28 +21,85 @@ SimLock::syncPair(CpuLease lease, CpuCat hold_cat, sim::Tick hold)
     co_await lease.run(costs_.lock_acquire, CpuCat::Lock);
 
     acquisitions_.increment();
-    if (held_) {
+    const sim::Tick start = sim_.now();
+
+    // Park into the tail batch (same-tick contenders share one) and
+    // resume when that batch's turn completes. Local awaiter: it has
+    // access to the enclosing class's private members.
+    struct BatchJoin
+    {
+        SimLock *lock;
+        sim::Tick hold;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            auto &waiting = lock->waiting_;
+            if (waiting.empty() ||
+                waiting.back().arrived != lock->sim_.now())
+                waiting.push_back(Batch{lock->sim_.now(), 0, {}});
+            waiting.back().total_hold += hold;
+            waiting.back().members.push_back(h);
+            lock->scheduleArbitration();
+        }
+
+        void await_resume() const {}
+    };
+    co_await BatchJoin{this, hold};
+
+    // The whole stay — spin + critical section + release op — just
+    // elapsed on our (still-held) CPU; tile it into the accounting
+    // categories. Spin time beyond the member's own hold+release
+    // means the batch had company (or queued behind another batch).
+    const sim::Tick elapsed = sim_.now() - start;
+    const sim::Tick spin = elapsed - hold - costs_.lock_release;
+    lease.pool()->addBusy(hold_cat, hold);
+    lease.pool()->addBusy(CpuCat::Lock, elapsed - hold);
+    if (spin > 0) {
         contended_.increment();
-        const sim::Tick start = sim_.now();
-        co_await LockWait{this, &waiters_};
-        // We were handed the lock by the releaser; held_ stays true.
-        const sim::Tick waited = sim_.now() - start;
-        total_wait_ += waited;
-        lease.pool()->addBusy(CpuCat::Lock, waited);
-    } else {
-        held_ = true;
+        total_wait_ += spin;
     }
+}
 
-    co_await lease.run(hold, hold_cat);
-    co_await lease.run(costs_.lock_release, CpuCat::Lock);
+void
+SimLock::scheduleArbitration()
+{
+    if (busy_ || arb_scheduled_ || waiting_.empty())
+        return;
+    arb_scheduled_ = true;
+    // Final band: the grant decision must see every same-tick
+    // contender, so the served set cannot depend on the tie-shuffled
+    // order in which they arrived (DESIGN.md §8.3).
+    sim_.queue().scheduleFinal([this] {
+        arb_scheduled_ = false;
+        if (!busy_ && !waiting_.empty())
+            serveBatch();
+    });
+}
 
-    if (!waiters_.empty()) {
-        auto h = waiters_.front();
-        waiters_.pop_front();
-        h.resume(); // ownership transfers; held_ remains true
-    } else {
-        held_ = false;
-    }
+void
+SimLock::serveBatch()
+{
+    busy_ = true;
+    Batch batch = std::move(waiting_.front());
+    waiting_.pop_front();
+    // The batch serializes inside the lock — the sum of the members'
+    // critical sections plus one release op each — but exits as one:
+    // per-member exit times are a function of the batch *set*, with
+    // no per-member assignment an arrival order could perturb.
+    const sim::Tick duration =
+        batch.total_hold +
+        static_cast<sim::Tick>(batch.members.size()) *
+            costs_.lock_release;
+    sim_.queue().schedule(
+        duration, [this, members = std::move(batch.members)] {
+            busy_ = false;
+            scheduleArbitration();
+            for (const auto &member : members)
+                member.resume();
+        });
 }
 
 } // namespace v3sim::osmodel

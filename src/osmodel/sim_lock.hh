@@ -12,6 +12,19 @@
  * the Lock accounting category, so lock contention *emerges* from
  * I/O rate and CPU count instead of being a dialed-in constant —
  * the mechanism behind Figures 9, 11, 12 and 14.
+ *
+ * Determinism (DESIGN.md §8.3): contenders whose acquire ops land on
+ * the same tick are a *race* — their relative order is unspecified
+ * and tie-shuffled. The lock therefore never arbitrates by arrival
+ * order. Same-tick contenders form one *batch*; a batch is granted
+ * in the tick's final band and occupies the lock for the sum of its
+ * members' critical sections (plus one release op each), and all
+ * members exit together when the batch completes. Every observable —
+ * exit times, spin accounting, contention counts — is a function of
+ * the batch *set*, so runs are invariant under the tie-shuffle seed.
+ * Contenders arriving on distinct ticks keep strict FIFO order, so
+ * the uncontended fast path costs exactly acquire + hold + release,
+ * as before.
  */
 
 #ifndef V3SIM_OSMODEL_SIM_LOCK_HH
@@ -20,6 +33,7 @@
 #include <coroutine>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "osmodel/cpu_pool.hh"
 #include "osmodel/host_costs.hh"
@@ -30,7 +44,7 @@
 namespace v3sim::osmodel
 {
 
-/** One kernel/library lock; FIFO-fair, spin-wait semantics. */
+/** One kernel/library lock; batch-fair, spin-wait semantics. */
 class SimLock
 {
   public:
@@ -54,19 +68,35 @@ class SimLock
     sim::Task<> syncPair(CpuLease lease, CpuCat hold_cat,
                          sim::Tick hold = -1);
 
-    bool held() const { return held_; }
+    bool held() const { return busy_; }
     uint64_t acquisitionCount() const { return acquisitions_.value(); }
+
+    /** Acquisitions that spun (exited later than an uncontended pair
+     *  would have). Every member of a multi-member batch spins. */
     uint64_t contendedCount() const { return contended_.value(); }
 
     /** Total spin time across all waiters (ns). */
     sim::Tick totalWait() const { return total_wait_; }
 
   private:
+    /** Same-tick contenders, granted and released as one unit. */
+    struct Batch
+    {
+        sim::Tick arrived;
+        sim::Tick total_hold = 0;
+        std::vector<std::coroutine_handle<>> members;
+    };
+
+    /** Coalesced final-band grant of the head batch (if lock free). */
+    void scheduleArbitration();
+    void serveBatch();
+
     sim::Simulation &sim_;
     const HostCosts &costs_;
     std::string name_;
-    bool held_ = false;
-    std::deque<std::coroutine_handle<>> waiters_;
+    bool busy_ = false; ///< a batch currently owns the lock
+    bool arb_scheduled_ = false;
+    std::deque<Batch> waiting_;
     sim::Counter acquisitions_;
     sim::Counter contended_;
     sim::Tick total_wait_ = 0;

@@ -5,6 +5,21 @@
 namespace v3sim::sim
 {
 
+namespace
+{
+
+/** SplitMix64 finalizer: the same-tick rank under tie-shuffle. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
 EventQueue::Handle
 EventQueue::schedule(Tick delay, std::function<void()> fn)
 {
@@ -19,7 +34,34 @@ EventQueue::scheduleAt(Tick when, std::function<void()> fn)
     if (when < now_)
         when = now_;
     auto control = std::make_shared<Handle::Control>();
-    heap_.push(Event{when, next_seq_++, std::move(fn), control});
+    const uint64_t seq = next_seq_++;
+    // Hashed ranks live below 2^63; zero-delay events keep FIFO
+    // order above it, after every already-queued same-tick event
+    // (see the class comment's tie-shuffle model).
+    constexpr uint64_t kSequencedBase = 1ULL << 63;
+    uint64_t tie;
+    if (!tie_shuffle_)
+        tie = seq;
+    else if (when <= now_)
+        tie = kSequencedBase | seq;
+    else
+        tie = mix64(tie_seed_ ^ seq) >> 1;
+    heap_.push(Event{when, tie, seq, std::move(fn), control});
+    ++pending_;
+    return Handle(std::move(control));
+}
+
+EventQueue::Handle
+EventQueue::scheduleFinal(std::function<void()> fn)
+{
+    auto control = std::make_shared<Handle::Control>();
+    const uint64_t seq = next_seq_++;
+    // The final band tops both the hashed ranks (< 2^63) and the
+    // zero-delay sequenced band (2^63 | seq), in shuffle and FIFO
+    // modes alike, so final events always close out their tick.
+    constexpr uint64_t kFinalBase = 3ULL << 62;
+    heap_.push(Event{now_, kFinalBase | seq, seq, std::move(fn),
+                     control});
     ++pending_;
     return Handle(std::move(control));
 }
@@ -34,6 +76,12 @@ EventQueue::fireNext()
     --pending_;
     now_ = event.when;
     event.control->fired = true;
+    // Counted before the cancellation check so the tally is a pure
+    // function of the scheduled ticks, unperturbed by within-tick
+    // cancellation order.
+    if (event.when == last_fired_at_)
+        ++same_tick_fired_;
+    last_fired_at_ = event.when;
     if (!event.control->cancelled) {
         ++fired_total_;
         event.fn();

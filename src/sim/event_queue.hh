@@ -7,6 +7,17 @@
  * makes runs fully deterministic for a given seed. Events can be
  * cancelled through the Handle returned at scheduling time (used by
  * DSA retransmission timers, cDSA poll-timeout fallbacks, etc.).
+ *
+ * Tie-shuffle debug mode (DESIGN.md §8): setTieShuffle(seed)
+ * randomizes the ordering of *independently scheduled* events that
+ * land on the same tick — the sim-domain analog of a data-race
+ * detector. Any simulation state whose final value depends on the
+ * unspecified same-timestamp tiebreak shows up as a metrics diff
+ * between runs with different shuffle seeds (see abl_determinism).
+ * Zero-delay events keep their documented ordering ("fires this
+ * tick, after already-queued same-time events") so intra-operation
+ * continuation chains stay causally sequenced; only events scheduled
+ * for a then-future tick — true cross-source races — are permuted.
  */
 
 #ifndef V3SIM_SIM_EVENT_QUEUE_HH
@@ -84,6 +95,23 @@ class EventQueue
     /** Schedules @p fn at absolute time @p when (>= now, else clamped). */
     Handle scheduleAt(Tick when, std::function<void()> fn);
 
+    /**
+     * Schedules @p fn in the current tick's *final band*: it fires
+     * after every other event of this tick — already queued or yet to
+     * be scheduled, zero-delay chains included — with FIFO order
+     * among final events themselves. Zero-delay events spawned *by* a
+     * final event still precede the remaining final events of the
+     * tick, so an arbitration callback sees the effects of the chains
+     * it races with.
+     *
+     * This is the hook for contention arbitration points (disk queue
+     * pick, SimLock batch grant): deciding in the final band makes
+     * the decision a function of the *set* of same-tick contenders
+     * rather than of their (unspecified, tie-shuffled) arrival order.
+     * See DESIGN.md §8.3.
+     */
+    Handle scheduleFinal(std::function<void()> fn);
+
     /** Number of events scheduled but not yet fired or cancelled. */
     size_t pendingCount() const { return pending_; }
 
@@ -107,10 +135,41 @@ class EventQueue
     /** Total events fired over the queue's lifetime. */
     uint64_t firedCount() const { return fired_total_; }
 
+    /** Popped events (cancelled included) that shared their tick with
+     *  the previously popped event — the same-tick ties whose order
+     *  tie-shuffle permutes. A function of the multiset of scheduled
+     *  ticks only, so invariant across shuffle seeds; abl_determinism
+     *  reports it as evidence the shuffled runs had races to
+     *  permute. */
+    uint64_t sameTickFired() const { return same_tick_fired_; }
+
+    /**
+     * Enables tie-shuffle mode: events scheduled for a future tick
+     * get a seed-derived pseudo-random same-tick rank instead of the
+     * FIFO sequence rank. Deterministic for a given seed. Affects
+     * events scheduled after the call; zero-delay events (when <=
+     * now) always keep FIFO ordering after already-queued same-tick
+     * events. Debug/CI feature — see DESIGN.md §8.
+     */
+    void setTieShuffle(uint64_t seed)
+    {
+        tie_shuffle_ = true;
+        tie_seed_ = seed;
+    }
+
+    /** Returns to pure-FIFO tie-breaking for future events. */
+    void clearTieShuffle() { tie_shuffle_ = false; }
+
+    bool tieShuffleEnabled() const { return tie_shuffle_; }
+
   private:
     struct Event
     {
         Tick when;
+        /** Same-tick rank: FIFO sequence number, or a seed-derived
+         *  hash under tie-shuffle (always < 2^63 for hashed ranks,
+         *  >= 2^63 for zero-delay events so they stay last). */
+        uint64_t tie;
         uint64_t seq;
         std::function<void()> fn;
         std::shared_ptr<Handle::Control> control;
@@ -123,6 +182,8 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.tie != b.tie)
+                return a.tie > b.tie;
             return a.seq > b.seq;
         }
     };
@@ -135,6 +196,10 @@ class EventQueue
     uint64_t next_seq_ = 0;
     size_t pending_ = 0;
     uint64_t fired_total_ = 0;
+    uint64_t same_tick_fired_ = 0;
+    Tick last_fired_at_ = -1;
+    bool tie_shuffle_ = false;
+    uint64_t tie_seed_ = 0;
 };
 
 } // namespace v3sim::sim

@@ -314,12 +314,8 @@ V3Server::serviceLoop(Connection &conn)
 void
 V3Server::pruneSeqs(Connection &conn, uint64_t ack_below)
 {
-    for (auto it = conn.seqs.begin(); it != conn.seqs.end();) {
-        if (it->first < ack_below)
-            it = conn.seqs.erase(it);
-        else
-            ++it;
-    }
+    conn.seqs.erase(conn.seqs.begin(),
+                    conn.seqs.lower_bound(ack_below));
 }
 
 sim::Task<>

@@ -49,6 +49,7 @@
 #define V3SIM_STORAGE_V3_SERVER_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -233,9 +234,11 @@ class V3Server : public vi::NodeFaultTarget
         sim::Addr staging_base = sim::kNullAddr;
         vi::MemHandle staging_handle;
 
-        /** Retransmission filter: seq -> completed ok/in-progress. */
+        /** Retransmission filter: seq -> completed ok/in-progress.
+         *  Ordered so pruneSeqs can range-erase below the ack and
+         *  iteration order is deterministic (DESIGN.md §8). */
         enum class SeqState : uint8_t { InProgress, DoneOk, DoneFail };
-        std::unordered_map<uint64_t, SeqState> seqs;
+        std::map<uint64_t, SeqState> seqs;
         /** Staging slots whose latest inbound RDMA transfer carried a
          *  damaged fragment (set by the NIC's RdmaEvent observer,
          *  consumed by doWrite). This is how phantom-memory runs —

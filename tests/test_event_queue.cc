@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -162,6 +163,176 @@ TEST(EventQueue, FiredCountSkipsCancelled)
     h1.cancel();
     q.run();
     EXPECT_EQ(q.firedCount(), 1u);
+}
+
+// --- Tie-shuffle mode (DESIGN.md §8) ---------------------------------
+
+namespace
+{
+
+/** Schedules @p n same-tick events from distinct sources and returns
+ *  the order they fired in. */
+std::vector<int>
+shuffledOrder(uint64_t seed, int n)
+{
+    EventQueue q;
+    q.setTieShuffle(seed);
+    std::vector<int> order;
+    for (int i = 0; i < n; ++i)
+        q.schedule(usecs(5), [&order, i] { order.push_back(i); });
+    q.run();
+    return order;
+}
+
+} // namespace
+
+TEST(EventQueueTieShuffle, SameSeedSameOrder)
+{
+    const auto a = shuffledOrder(42, 32);
+    const auto b = shuffledOrder(42, 32);
+    EXPECT_EQ(a, b);
+}
+
+TEST(EventQueueTieShuffle, DifferentSeedsPermute)
+{
+    const auto a = shuffledOrder(1, 32);
+    const auto b = shuffledOrder(2, 32);
+    // Both are permutations of 0..31 ...
+    auto sorted_a = a;
+    auto sorted_b = b;
+    std::sort(sorted_a.begin(), sorted_a.end());
+    std::sort(sorted_b.begin(), sorted_b.end());
+    std::vector<int> expect(32);
+    for (int i = 0; i < 32; ++i)
+        expect[static_cast<size_t>(i)] = i;
+    EXPECT_EQ(sorted_a, expect);
+    EXPECT_EQ(sorted_b, expect);
+    // ... but different ones (32! orderings; a collision would mean
+    // the seed is not reaching the rank hash).
+    EXPECT_NE(a, b);
+    // And neither is plain FIFO.
+    EXPECT_NE(a, expect);
+}
+
+TEST(EventQueueTieShuffle, TimeOrderStillRespected)
+{
+    EventQueue q;
+    q.setTieShuffle(7);
+    Tick last = -1;
+    bool monotone = true;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick when = usecs((i * 7919) % 50);
+        q.scheduleAt(when, [&, when] {
+            monotone = monotone && when >= last;
+            last = when;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotone);
+}
+
+TEST(EventQueueTieShuffle, ZeroDelayKeepsDocumentedOrdering)
+{
+    // The schedule(0) contract — "fires this tick, after
+    // already-queued same-time events" — must hold under shuffle:
+    // zero-delay events are continuations, not races.
+    EventQueue q;
+    q.setTieShuffle(99);
+    std::vector<int> order;
+    q.schedule(usecs(5), [&] {
+        order.push_back(0);
+        q.schedule(0, [&] { order.push_back(2); });
+        q.schedule(0, [&] { order.push_back(3); });
+    });
+    q.schedule(usecs(5), [&] { order.push_back(1); });
+    q.run();
+    // The two top-level events may fire in either order, but both
+    // precede the zero-delay continuations, which stay FIFO.
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[2], 2);
+    EXPECT_EQ(order[3], 3);
+    EXPECT_TRUE((order[0] == 0 && order[1] == 1) ||
+                (order[0] == 1 && order[1] == 0));
+}
+
+TEST(EventQueueTieShuffle, FinalBandClosesOutTheTick)
+{
+    // scheduleFinal: fires after every other event of the tick —
+    // shuffled future-tick arrivals AND their zero-delay continuation
+    // chains — with FIFO order among final events themselves. This is
+    // the arbitration hook (disk pick, lock grant): by the time a
+    // final event runs, the full same-tick contender set is visible.
+    EventQueue q;
+    q.setTieShuffle(7);
+    std::vector<int> order;
+    q.schedule(usecs(5), [&] {
+        order.push_back(0);
+        q.scheduleFinal([&] { order.push_back(10); });
+        q.schedule(0, [&] { order.push_back(2); });
+    });
+    q.schedule(usecs(5), [&] {
+        order.push_back(1);
+        q.schedule(0, [&] { order.push_back(3); });
+        q.scheduleFinal([&] { order.push_back(11); });
+    });
+    q.run();
+    ASSERT_EQ(order.size(), 6u);
+    // Final events last, FIFO among themselves by creation order.
+    EXPECT_TRUE((order[4] == 10 && order[5] == 11) ||
+                (order[4] == 11 && order[5] == 10));
+    // Zero-delay continuations still precede the final band.
+    EXPECT_TRUE(order[2] == 2 || order[2] == 3);
+    EXPECT_TRUE(order[3] == 2 || order[3] == 3);
+}
+
+TEST(EventQueueTieShuffle, ZeroDelaySpawnedByFinalPrecedesNextFinal)
+{
+    // A final event's own zero-delay chains complete before the next
+    // final event of the tick: one arbitration point sees the effects
+    // of chains another arbitration kicked off.
+    EventQueue q;
+    q.setTieShuffle(5);
+    std::vector<int> order;
+    q.schedule(usecs(1), [&] {
+        q.scheduleFinal([&] {
+            order.push_back(0);
+            q.schedule(0, [&] { order.push_back(1); });
+        });
+        q.scheduleFinal([&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, FinalBandWorksWithoutShuffle)
+{
+    // Same semantics in plain FIFO mode: the band, not the shuffle,
+    // defines "end of tick".
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(usecs(1), [&] {
+        q.scheduleFinal([&] { order.push_back(2); });
+        q.schedule(0, [&] { order.push_back(1); });
+        order.push_back(0);
+    });
+    q.schedule(usecs(2), [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueTieShuffle, ClearRestoresFifo)
+{
+    EventQueue q;
+    q.setTieShuffle(13);
+    EXPECT_TRUE(q.tieShuffleEnabled());
+    q.clearTieShuffle();
+    EXPECT_FALSE(q.tieShuffleEnabled());
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(usecs(5), [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

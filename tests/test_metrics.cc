@@ -138,7 +138,7 @@ TEST(MetricRegistry, ToJsonParses)
     sim::MetricRegistry registry;
     registry.counter("nic.0.packets_sent").increment(42);
     registry.sampler("client.local.latency_ns").add(123.0);
-    registry.gauge("server.v3-0.cache.hit_ratio",
+    registry.gauge("server.v3_0.cache.hit_ratio",
                    [] { return 0.5; });
 
     const auto doc = util::JsonValue::parse(registry.toJson());

@@ -170,6 +170,7 @@ TEST(ViNicStats, CountersTrackTraffic)
     const sim::Addr dst = smem.allocate(8192);
     const auto dst_h =
         server.registry().registerMemory(dst, 8192, true);
+    ASSERT_TRUE(dst_h);
 
     const uint64_t sent_before = client.packetsSent();
     vi::WorkDescriptor rdma;

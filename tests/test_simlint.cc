@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for tools/simlint, the determinism-contract linter
+ * (DESIGN.md §8). Two layers:
+ *
+ *  - fixture files under tools/simlint/fixtures/ (path injected as
+ *    SIMLINT_FIXTURE_DIR): each known-bad file must produce exactly
+ *    its annotated findings, and the known-good files none — so a
+ *    rule that silently stops firing breaks the build, not just the
+ *    lint;
+ *  - inline lintSource() cases for the trickier lexer behavior
+ *    (strings, raw strings, comments, multi-line declarations,
+ *    companion-header semantics are covered via the fixtures' shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hh"
+
+namespace v3sim::simlint
+{
+namespace
+{
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(SIMLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** (line, rule) pairs, sorted, for exact-match assertions. */
+std::vector<std::pair<int, std::string>>
+lineRules(const std::vector<Finding> &findings)
+{
+    std::vector<std::pair<int, std::string>> out;
+    for (const Finding &f : findings)
+        out.emplace_back(f.line, f.rule);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+using LineRules = std::vector<std::pair<int, std::string>>;
+
+TEST(SimlintFixtures, WallClock)
+{
+    const auto got = lineRules(lintFile(fixture("bad_wall_clock.cc")));
+    const LineRules want = {{9, "wall-clock"},
+                            {10, "wall-clock"},
+                            {11, "wall-clock"},
+                            {13, "wall-clock"}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(SimlintFixtures, RawRandom)
+{
+    const auto got = lineRules(lintFile(fixture("bad_raw_random.cc")));
+    const LineRules want = {{9, "raw-random"},
+                            {10, "raw-random"},
+                            {11, "raw-random"},
+                            {12, "raw-random"}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(SimlintFixtures, UnorderedIter)
+{
+    const auto got =
+        lineRules(lintFile(fixture("bad_unordered_iter.cc")));
+    const LineRules want = {{22, "unordered-iter"},
+                            {24, "unordered-iter"},
+                            {26, "unordered-iter"}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(SimlintFixtures, PtrMapIter)
+{
+    const auto got =
+        lineRules(lintFile(fixture("bad_ptr_map_iter.cc")));
+    const LineRules want = {{18, "ptr-map-iter"},
+                            {20, "ptr-map-iter"}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(SimlintFixtures, MetricName)
+{
+    const auto got =
+        lineRules(lintFile(fixture("bad_metric_name.cc")));
+    const LineRules want = {{13, "metric-name"},
+                            {14, "metric-name"},
+                            {15, "metric-name"}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(SimlintFixtures, ReasonlessAnnotationIsAFinding)
+{
+    const auto got =
+        lineRules(lintFile(fixture("bad_annotation.cc")));
+    // The malformed annotations are findings AND fail to suppress.
+    const LineRules want = {{9, "annotation"},
+                            {10, "unordered-iter"},
+                            {12, "annotation"},
+                            {13, "unordered-iter"}};
+    EXPECT_EQ(got, want);
+}
+
+TEST(SimlintFixtures, JustifiedAnnotationsSuppress)
+{
+    EXPECT_TRUE(lintFile(fixture("allowed_unordered_iter.cc")).empty());
+}
+
+TEST(SimlintFixtures, CleanFileIsClean)
+{
+    EXPECT_TRUE(lintFile(fixture("clean.cc")).empty());
+}
+
+TEST(Simlint, MissingFileReportsIoFinding)
+{
+    const auto findings = lintFile(fixture("no_such_file.cc"));
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "io");
+}
+
+// --- Inline lexer/matcher behavior ----------------------------------
+
+TEST(Simlint, StringsAndCommentsDoNotTrigger)
+{
+    const std::string src =
+        "// system_clock in a comment\n"
+        "/* rand() in a block comment */\n"
+        "const char *a = \"time(nullptr) inside a string\";\n"
+        "const char *b = R\"(std::mt19937 in a raw string)\";\n";
+    EXPECT_TRUE(lintSource("x.cc", src).empty());
+}
+
+TEST(Simlint, WallClockInCodeTriggers)
+{
+    const auto findings = lintSource(
+        "x.cc", "auto t = std::chrono::system_clock::now();\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "wall-clock");
+    EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(Simlint, SimRandomEngineFileIsExemptFromRawRandom)
+{
+    // sim/random.* implements the sanctioned engine and may name
+    // engine types; the same text elsewhere is a finding.
+    const std::string src = "using engine = std::mt19937_64;\n";
+    EXPECT_TRUE(lintSource("src/sim/random.hh", src).empty());
+    EXPECT_FALSE(lintSource("src/dsa/foo.hh", src).empty());
+}
+
+TEST(Simlint, MultiLineDeclarationIsTracked)
+{
+    const std::string src =
+        "#include <unordered_map>\n"
+        "std::unordered_map<int,\n"
+        "                   int>\n"
+        "    scattered;\n"
+        "int f() { int n = 0; for (auto &[k, v] : scattered) n += v;"
+        " return n; }\n";
+    const auto findings = lintSource("x.cc", src);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "unordered-iter");
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(Simlint, FormatFindingIsClickable)
+{
+    Finding f;
+    f.file = "src/a.cc";
+    f.line = 12;
+    f.rule = "wall-clock";
+    f.message = "m";
+    EXPECT_EQ(formatFinding(f), "src/a.cc:12: [wall-clock] m");
+}
+
+TEST(Simlint, RepoSourcesAreCleanUnderTheirAnnotations)
+{
+    // Belt-and-braces alongside the simlint_repo ctest: the linter
+    // run over its own implementation must be clean too.
+    const auto findings = lintFile(fixture("../lint.cc"));
+    for (const Finding &f : findings)
+        ADD_FAILURE() << formatFinding(f);
+}
+
+} // namespace
+} // namespace v3sim::simlint

@@ -1,0 +1,24 @@
+// Fixture: a justified annotation suppresses the unordered-iter
+// finding (same line or the line above), and allow-file covers the
+// whole file for its rule.
+// simlint:allow-file(metric-name: fixture exercises odd literals)
+#include <unordered_map>
+
+struct Registry
+{
+    int &counter(const char *path);
+};
+
+int
+drain(std::unordered_map<int, int> &m, Registry &metrics)
+{
+    int total = 0;
+    // simlint:allow(unordered-iter: sum is commutative, order free)
+    for (auto &[k, v] : m)
+        total += v;
+    for (auto it = m.begin(); // simlint:allow(unordered-iter: drain erases every entry, order free)
+         it != m.end();)
+        it = m.erase(it);
+    metrics.counter("Covered.By.Allow-File");
+    return total;
+}

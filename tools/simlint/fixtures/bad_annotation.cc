@@ -1,0 +1,16 @@
+// Fixture: suppression annotations must carry a reason.
+#include <unordered_map>
+
+int
+f()
+{
+    std::unordered_map<int, int> m;
+    int total = 0;
+    // simlint:allow(unordered-iter)
+    for (auto &[k, v] : m)
+        total += v;
+    // simlint:allow(unordered-iter:   )
+    for (auto &[k, v] : m)
+        total += v;
+    return total;
+}

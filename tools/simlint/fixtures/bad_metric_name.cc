@@ -1,0 +1,20 @@
+// Fixture: metric registration literals that break the DESIGN.md
+// §6c dotted-path grammar (lowercase [a-z0-9_#] segments).
+struct Registry
+{
+    int &counter(const char *path);
+    void gauge(const char *path, double value);
+};
+
+void
+registerMetrics(Registry &metrics, const char *prefix)
+{
+    (void)prefix;
+    metrics.counter("Server.Reads");              // line 13: uppercase
+    metrics.counter("server..reads");             // line 14: empty seg
+    metrics.gauge("server.hit-ratio", 0.0);       // line 15: dash
+    // Conforming paths must NOT trigger:
+    metrics.counter("server.v3#2.cache.hits");
+    metrics.counter(".latency_hist_ns");
+    metrics.gauge("nic.host0.pinned_bytes", 1.0);
+}

@@ -1,0 +1,27 @@
+// Fixture: pointer-keyed ordered containers iterate in address
+// order, which ASLR reshuffles run to run.
+#include <map>
+#include <set>
+
+struct Client;
+
+struct Registry
+{
+    std::map<Client *, int> refs;
+    std::set<const Client *> live;
+};
+
+int
+total(Registry &reg)
+{
+    int sum = 0;
+    for (auto &[client, count] : reg.refs)          // line 18
+        sum += count;
+    for (auto it = reg.live.begin(); it != reg.live.end(); ++it) // line 20
+        ++sum;
+    // Value-keyed ordered maps are fine — must NOT trigger:
+    std::map<int, Client *> by_id;
+    for (auto &[id, client] : by_id)
+        sum += id;
+    return sum + static_cast<int>(reg.refs.size());
+}

@@ -1,0 +1,14 @@
+// Fixture: every nondeterministic randomness source the rule must
+// catch. sim::Rng forks are the only sanctioned randomness.
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    std::random_device rd;                      // line 9
+    std::mt19937 gen(rd());                     // line 10
+    int base = rand() % 6;                      // line 11
+    srand(42);                                  // line 12
+    return base + static_cast<int>(gen());
+}

@@ -1,0 +1,32 @@
+// Fixture: iteration over hash-ordered containers, in the shapes
+// the repo actually uses (ranged-for with structured bindings,
+// erase loops, multi-line member declarations, using-aliases).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Conn
+{
+    std::unordered_map<uint64_t, int> seqs;
+    std::unordered_set<uint32_t>
+        tainted_slots; // multi-line declaration
+};
+
+using LoadingMap = std::unordered_map<uint64_t, int>;
+
+int
+sweep(Conn &conn)
+{
+    LoadingMap loading;
+    int total = 0;
+    for (auto &[id, st] : conn.seqs)                // line 22
+        total += st;
+    for (auto it = loading.begin(); it != loading.end();) // line 24
+        it = loading.erase(it);
+    for (uint32_t slot : conn.tainted_slots)        // line 26
+        total += static_cast<int>(slot);
+    // Point access is fine — must NOT trigger:
+    loading[7] = 1;
+    conn.seqs.erase(3);
+    return total + static_cast<int>(conn.seqs.count(1));
+}

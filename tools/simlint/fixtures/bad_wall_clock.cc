@@ -1,0 +1,22 @@
+// Fixture: every wall-clock source the rule must catch.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+unsigned long
+now_ms()
+{
+    auto t = std::chrono::system_clock::now();      // line 9
+    auto s = std::chrono::steady_clock::now();      // line 10
+    std::time_t raw = time(nullptr);                // line 11
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);                     // line 13
+    (void)t;
+    (void)s;
+    (void)raw;
+    return static_cast<unsigned long>(tv.tv_sec);
+}
+
+// Strings and comments must NOT trigger: "time (us)" is a label,
+// and this comment mentions system_clock harmlessly.
+const char *label = "response time (us)";

@@ -1,0 +1,40 @@
+// Fixture: representative conforming code — none of the rules may
+// fire here. Mirrors the idioms src/ actually uses.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Registry
+{
+    int &counter(const std::string &path);
+    void gauge(const std::string &path, double value);
+};
+
+struct Server
+{
+    // Point-access-only hash maps are fine.
+    std::unordered_map<uint64_t, int> pending;
+    // Ordered map: iteration is deterministic.
+    std::map<uint64_t, int> dirty;
+    std::string metric_prefix;
+
+    int
+    flush(Registry &metrics)
+    {
+        int total = 0;
+        for (auto &[offset, len] : dirty)
+            total += len;
+        dirty.clear();
+        auto it = pending.find(7);
+        if (it != pending.end())
+            total += it->second;
+        metrics.counter(metric_prefix + ".flushes") += 1;
+        metrics.gauge(metric_prefix + ".dirty_bytes", 0.0);
+        // Strings may mention time() and rand() freely; runtime
+        // labels like "service time (ms)" are data, not code.
+        const char *label = "service time (ms), rand() disabled";
+        return total + static_cast<int>(sizeof(label));
+    }
+};

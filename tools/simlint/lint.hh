@@ -1,0 +1,73 @@
+/**
+ * @file
+ * simlint: the project's determinism-contract static analyzer.
+ *
+ * A dependency-free, token-level linter (no libclang) that enforces
+ * the invariants every BENCH_*.json trajectory relies on — see
+ * DESIGN.md §8 "Determinism contract". Rules:
+ *
+ *  - wall-clock      no real-time sources (`system_clock`,
+ *                    `steady_clock`, `time(`, `gettimeofday`, ...);
+ *                    simulated time comes from sim::EventQueue only.
+ *  - raw-random      no nondeterministic or unseeded randomness
+ *                    (`rand(`, `std::random_device`, `std::mt19937`);
+ *                    all randomness flows through sim::Rng forks.
+ *  - unordered-iter  no ranged-for / begin()/end() iteration over
+ *                    `std::unordered_map/set`: hash-table order is
+ *                    unspecified and any observable effect of it is
+ *                    a determinism bug. Point lookups are fine.
+ *  - ptr-map-iter    no iteration over pointer-keyed `std::map/set`:
+ *                    address order changes run-to-run under ASLR.
+ *  - metric-name     string literals passed to MetricRegistry
+ *                    registration calls must follow the DESIGN.md §6c
+ *                    dotted-path grammar (lowercase, [a-z0-9_#],
+ *                    '.'-separated segments).
+ *
+ * Suppression grammar (reason is mandatory):
+ *   // simlint:allow(<rule>: <reason>)        same or next line
+ *   // simlint:allow-file(<rule>: <reason>)   whole file
+ * A malformed or reason-less annotation is itself a finding (rule
+ * "annotation").
+ *
+ * The analysis is intentionally heuristic: declarations are found by
+ * scanning for container template tokens (multi-line declarations and
+ * `using` aliases included), and iteration is matched against the
+ * declared names. Comments and string/char literals are stripped
+ * first so text in strings never triggers token rules.
+ */
+
+#ifndef V3SIM_TOOLS_SIMLINT_LINT_HH
+#define V3SIM_TOOLS_SIMLINT_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace v3sim::simlint
+{
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file;
+    int line = 0;          ///< 1-based
+    std::string rule;      ///< e.g. "wall-clock"
+    std::string message;
+};
+
+/** Lints one translation unit given as text. @p path is used for
+ *  reporting and for path-based rule exemptions (sim/random.* may
+ *  reference engine names in comments/docs freely; the raw-random
+ *  rule is still enforced there on code). */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/** Reads and lints a file. A read failure is reported as a finding
+ *  with rule "io". */
+std::vector<Finding> lintFile(const std::string &path);
+
+/** Renders a finding as "file:line: [rule] message". */
+std::string formatFinding(const Finding &finding);
+
+} // namespace v3sim::simlint
+
+#endif // V3SIM_TOOLS_SIMLINT_LINT_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * simlint CLI. Usage:
+ *
+ *   simlint <file-or-directory>...
+ *
+ * Directories are walked recursively for .cc/.hh/.cpp/.hpp/.h files.
+ * Findings print as "file:line: [rule] message". Exit status: 0 when
+ * clean, 1 when findings were reported, 2 on usage error.
+ *
+ * Registered with ctest as `simlint_repo` over src/, bench/ and
+ * tests/ — the determinism contract (DESIGN.md §8) is enforced on
+ * every test run, not just in CI.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+using v3sim::simlint::Finding;
+
+namespace
+{
+
+bool
+lintableExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: simlint <file-or-directory>...\n");
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const fs::path root(argv[i]);
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(root)) {
+                if (entry.is_regular_file() &&
+                    lintableExtension(entry.path()))
+                    files.push_back(entry.path().string());
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(root.string());
+        } else {
+            std::fprintf(stderr, "simlint: no such input: %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    size_t findings = 0;
+    for (const std::string &file : files) {
+        for (const Finding &finding :
+             v3sim::simlint::lintFile(file)) {
+            std::printf(
+                "%s\n",
+                v3sim::simlint::formatFinding(finding).c_str());
+            ++findings;
+        }
+    }
+    if (findings > 0) {
+        std::printf("simlint: %zu finding%s in %zu file%s\n",
+                    findings, findings == 1 ? "" : "s",
+                    files.size(), files.size() == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("simlint: %zu files clean\n", files.size());
+    return 0;
+}
