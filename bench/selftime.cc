@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Simulator self-timing: how fast is the event loop itself?
+ *
+ * Every other bench measures the *modeled* system; this one measures
+ * the harness. It times three fixed-seed profiles and reports raw
+ * events/sec and wall-seconds per simulated-second, so simulator
+ * performance becomes a tracked BENCH_selftime.json trajectory
+ * instead of folklore (ROADMAP: "Simulator speed overhaul for
+ * million-client runs").
+ *
+ * Profiles:
+ *  - core:  a pure event-queue churn — actors rescheduling
+ *    themselves at pseudo-random near-future delays, zero-delay
+ *    continuation chains, final-band arbitration events, and a
+ *    cancelled-timer slice. No model code: this isolates schedule/
+ *    fire/cancel cost.
+ *  - fig10: the full-scale large-configuration TPC-C run (cDSA),
+ *    the heaviest workload in the figure set.
+ *  - fig13: the mid-size TPC-C run (cDSA).
+ *
+ * Wall-clock use is the whole point here, so the determinism rule is
+ * waived file-wide (the *simulated* results of the profiles stay
+ * seed-deterministic; only the wall timings vary run to run).
+ * Compare two artifacts with tools/bench_diff.
+ */
+
+// simlint:allow-file(wall-clock: self-timing bench measures real elapsed time)
+
+#include <chrono>
+#include <cstdio>
+
+#include "scenarios/tpcc_run.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "util/bench_reporter.hh"
+#include "util/table.hh"
+
+using namespace v3sim;
+using namespace v3sim::scenarios;
+
+namespace
+{
+
+double
+wallNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct ProfileResult
+{
+    uint64_t events = 0;
+    double sim_s = 0;
+    double wall_s = 0;
+};
+
+/**
+ * Pure event-loop churn at a fixed seed: kActors self-rescheduling
+ * actors with near-future delays (the ladder's home turf), each
+ * spawning a zero-delay continuation and a final-band arbitration
+ * event per firing, plus a cancelled retransmit-style timer every
+ * 16th firing — the schedule/fire/cancel mix the model code
+ * produces, minus the model.
+ */
+ProfileResult
+runCore(uint64_t target_events)
+{
+    constexpr int kActors = 64;
+    sim::Simulation sim(/*seed=*/42);
+    sim::Rng rng = sim.forkRng();
+    uint64_t remaining = target_events;
+
+    struct Actor
+    {
+        sim::Simulation &sim;
+        sim::Rng rng;
+        uint64_t *remaining;
+        uint64_t fires = 0;
+        sim::EventQueue::Handle timer;
+
+        void
+        step()
+        {
+            if (*remaining == 0)
+                return;
+            --*remaining;
+            ++fires;
+            // Zero-delay continuation (intra-operation chain).
+            sim.queue().schedule(0, [] {});
+            // Final-band arbitration point, like a disk pick.
+            if ((fires & 7) == 0)
+                sim.queue().scheduleFinal([] {});
+            // Retransmit-style timer: armed, then cancelled by the
+            // "response" long before it fires.
+            if ((fires & 15) == 0) {
+                timer.cancel();
+                timer = sim.queue().scheduleCancelable(
+                    sim::msecs(100), [] {});
+            }
+            const sim::Tick d = sim::nsecs(
+                100 + static_cast<sim::Tick>(rng.next() % 50000));
+            sim.queue().schedule(d, [this] { step(); });
+        }
+    };
+
+    std::vector<std::unique_ptr<Actor>> actors;
+    for (int a = 0; a < kActors; ++a) {
+        actors.push_back(std::unique_ptr<Actor>(
+            new Actor{sim, rng.fork(), &remaining, 0, {}}));
+    }
+    const double t0 = wallNow();
+    for (auto &actor : actors)
+        actor->step();
+    sim.run();
+    const double t1 = wallNow();
+
+    ProfileResult out;
+    out.events = sim.queue().firedCount();
+    out.sim_s = sim::toSecs(sim.now());
+    out.wall_s = t1 - t0;
+    return out;
+}
+
+ProfileResult
+runTpccProfile(Platform platform, bool quick)
+{
+    TpccRunConfig config;
+    config.platform = platform;
+    config.backend = Backend::Cdsa;
+    config.seed = 1;
+    if (quick) {
+        config.warmup = sim::msecs(60);
+        config.window = sim::msecs(250);
+    }
+    const double t0 = wallNow();
+    const TpccRunResult result = runTpcc(config);
+    const double t1 = wallNow();
+
+    ProfileResult out;
+    out.events = result.events_fired;
+    out.sim_s = sim::toSecs(result.sim_elapsed);
+    out.wall_s = t1 - t0;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::BenchReporter reporter("selftime", argc, argv);
+
+    std::printf("Simulator self-timing (events/sec, "
+                "wall-seconds per simulated-second)\n\n");
+    util::TextTable table({"profile", "events", "sim_s", "wall_s",
+                           "events/s", "wall/sim"});
+
+    struct Row
+    {
+        const char *name;
+        ProfileResult r;
+    };
+    const uint64_t core_events =
+        reporter.quick() ? 200 * 1000 : 8 * 1000 * 1000;
+    Row rows[] = {
+        {"core", runCore(core_events)},
+        {"fig10", runTpccProfile(Platform::Large, reporter.quick())},
+        {"fig13", runTpccProfile(Platform::MidSize,
+                                 reporter.quick())},
+    };
+
+    for (const Row &row : rows) {
+        const double eps =
+            row.r.wall_s > 0
+                ? static_cast<double>(row.r.events) / row.r.wall_s
+                : 0;
+        const double wps =
+            row.r.sim_s > 0 ? row.r.wall_s / row.r.sim_s : 0;
+        table.addRow({row.name, std::to_string(row.r.events),
+                      util::TextTable::num(row.r.sim_s, 3),
+                      util::TextTable::num(row.r.wall_s, 3),
+                      util::TextTable::num(eps / 1e6, 3) + "M",
+                      util::TextTable::num(wps, 3)});
+        reporter.beginRow();
+        reporter.col("profile", std::string(row.name));
+        reporter.col("events", row.r.events);
+        reporter.col("sim_s", row.r.sim_s);
+        reporter.col("wall_s", row.r.wall_s);
+        reporter.col("events_per_sec", eps);
+        reporter.col("wall_per_sim_sec", wps);
+    }
+    table.print();
+    reporter.note("workloads",
+                  "core=synthetic event churn; fig10/fig13 = "
+                  "cDSA TPC-C profiles at seed 1");
+    return reporter.write() ? 0 : 1;
+}

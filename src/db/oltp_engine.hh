@@ -119,7 +119,7 @@ class OltpEngine
     uint64_t committedCount() const { return committed_.value(); }
     uint64_t newOrderCount() const { return new_orders_.value(); }
     uint64_t ioCount() const { return ios_.value(); }
-    const sim::Sampler &txnLatency() const { return txn_latency_; }
+    const sim::Sampler &txnLatency() const { return txn_latency_.raw(); }
     void resetStats();
     /** @} */
 
@@ -160,10 +160,10 @@ class OltpEngine
     /// the metric references so it is initialised first.
     std::string metric_prefix_;
 
-    sim::Counter &committed_;
-    sim::Counter &new_orders_;
-    sim::Counter &ios_;
-    sim::Sampler &txn_latency_;
+    sim::CounterHandle committed_;
+    sim::CounterHandle new_orders_;
+    sim::CounterHandle ios_;
+    sim::SamplerHandle txn_latency_;
 };
 
 } // namespace v3sim::db

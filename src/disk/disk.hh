@@ -144,8 +144,8 @@ class Disk : public vi::MediaFaultTarget
 
     /** @name Statistics @{ */
     uint64_t completedCount() const { return completed_.value(); }
-    const sim::Sampler &serviceStats() const { return service_stats_; }
-    const sim::Sampler &latencyStats() const { return latency_stats_; }
+    const sim::Sampler &serviceStats() const { return service_stats_.raw(); }
+    const sim::Sampler &latencyStats() const { return latency_stats_.raw(); }
     uint64_t latentErrorCount() const { return latent_errors_.value(); }
     uint64_t tornWriteCount() const { return torn_writes_.value(); }
     double utilization() const;
@@ -200,11 +200,11 @@ class Disk : public vi::MediaFaultTarget
     /// the metric references so it is initialised first.
     std::string metric_prefix_;
 
-    sim::Counter &completed_;
-    sim::Sampler &service_stats_; ///< mechanism time per command (ns)
-    sim::Sampler &latency_stats_; ///< queue wait + service (ns)
-    sim::Counter &latent_errors_; ///< injected latent sector errors
-    sim::Counter &torn_writes_;   ///< writes the torn fault damaged
+    sim::CounterHandle completed_;
+    sim::SamplerHandle service_stats_; ///< mechanism time per command (ns)
+    sim::SamplerHandle latency_stats_; ///< queue wait + service (ns)
+    sim::CounterHandle latent_errors_; ///< injected latent sector errors
+    sim::CounterHandle torn_writes_;   ///< writes the torn fault damaged
     sim::TimeWeighted busy_integral_;
 };
 

@@ -231,7 +231,7 @@ DsaClient::establish()
 
     // Guard the handshake with a timeout: the ConnectReq or its Ack
     // can be lost, and VI gives no notification.
-    auto connect_timer = node_.sim().queue().schedule(
+    auto connect_timer = node_.sim().queue().scheduleCancelable(
         config_.connect_timeout, [this] {
             if (connect_waiter_) {
                 auto *w = connect_waiter_;
@@ -283,7 +283,7 @@ DsaClient::establish()
         nic_.postSend(*ep_, desc, msg_handle_);
         cpus().release();
     }
-    auto hello_timer = node_.sim().queue().schedule(
+    auto hello_timer = node_.sim().queue().scheduleCancelable(
         config_.connect_timeout, [this] {
             if (hello_waiter_) {
                 auto *w = hello_waiter_;
@@ -962,7 +962,7 @@ void
 DsaClient::scheduleRetransmit(PendingIo &io)
 {
     const uint64_t id = io.id;
-    io.retx_timer = node_.sim().queue().schedule(
+    io.retx_timer = node_.sim().queue().scheduleCancelable(
         config_.retransmit_timeout,
         [this, id] { sim::spawn(retransmit(id)); });
 }

@@ -166,11 +166,11 @@ class DsaClient : public BlockDevice
         return integrity_errors_.value();
     }
     /** End-to-end I/O latency (ns). */
-    const sim::Sampler &latency() const { return latency_; }
+    const sim::Sampler &latency() const { return latency_.raw(); }
     /** End-to-end I/O latency distribution (ns), for p50/p95/p99. */
     const sim::Histogram &latencyHistogram() const
     {
-        return latency_hist_;
+        return latency_hist_.raw();
     }
     const RegCache &regCache() const { return *reg_cache_; }
     /** Zeroes this client's registry-owned metrics. Prefer
@@ -326,16 +326,16 @@ class DsaClient : public BlockDevice
     /// must precede the metric references so it is initialised first.
     std::string metric_prefix_;
 
-    sim::Counter &ios_;
-    sim::Counter &retransmits_;
-    sim::Counter &reconnects_;
-    sim::Counter &revives_;
-    sim::Counter &intr_completions_;
-    sim::Counter &polled_completions_;
-    sim::Counter &digest_mismatches_;
-    sim::Counter &integrity_errors_;
-    sim::Sampler &latency_;
-    sim::Histogram &latency_hist_;
+    sim::CounterHandle ios_;
+    sim::CounterHandle retransmits_;
+    sim::CounterHandle reconnects_;
+    sim::CounterHandle revives_;
+    sim::CounterHandle intr_completions_;
+    sim::CounterHandle polled_completions_;
+    sim::CounterHandle digest_mismatches_;
+    sim::CounterHandle integrity_errors_;
+    sim::SamplerHandle latency_;
+    sim::HistogramHandle latency_hist_;
 };
 
 } // namespace v3sim::dsa

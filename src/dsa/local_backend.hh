@@ -63,11 +63,11 @@ class LocalBackend : public BlockDevice
 
     uint64_t ioCount() const { return ios_.value(); }
     uint64_t interruptCount() const { return interrupts_.value(); }
-    const sim::Sampler &latency() const { return latency_; }
+    const sim::Sampler &latency() const { return latency_.raw(); }
     /** End-to-end I/O latency distribution (ns), for p50/p95/p99. */
     const sim::Histogram &latencyHistogram() const
     {
-        return latency_hist_;
+        return latency_hist_.raw();
     }
     /** Zeroes this backend's registry-owned metrics. Prefer
      *  `MetricRegistry::resetEpoch()` for stack-wide measurement
@@ -101,10 +101,10 @@ class LocalBackend : public BlockDevice
     /// precede the metric references so it is initialised first.
     std::string metric_prefix_;
 
-    sim::Counter &ios_;
-    sim::Counter &interrupts_;
-    sim::Sampler &latency_;
-    sim::Histogram &latency_hist_;
+    sim::CounterHandle ios_;
+    sim::CounterHandle interrupts_;
+    sim::SamplerHandle latency_;
+    sim::HistogramHandle latency_hist_;
 };
 
 } // namespace v3sim::dsa

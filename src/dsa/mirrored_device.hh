@@ -248,18 +248,18 @@ class MirroredDevice : public BlockDevice
 
     // Prefix member must precede the metric references (init order).
     std::string metric_prefix_;
-    sim::Counter &failovers_;
-    sim::Counter &readmits_;
-    sim::Counter &resyncs_;
-    sim::Counter &resync_bytes_;
-    sim::Counter &degraded_reads_;
-    sim::Counter &degraded_writes_;
-    sim::Counter &integrity_repairs_;
-    sim::Counter &unrecoverable_;
-    sim::Counter &scrubbed_bytes_;
-    sim::Counter &scrub_passes_;
-    sim::Sampler &resync_time_ns_;
-    sim::TimeWeighted &degraded_replicas_;
+    sim::CounterHandle failovers_;
+    sim::CounterHandle readmits_;
+    sim::CounterHandle resyncs_;
+    sim::CounterHandle resync_bytes_;
+    sim::CounterHandle degraded_reads_;
+    sim::CounterHandle degraded_writes_;
+    sim::CounterHandle integrity_repairs_;
+    sim::CounterHandle unrecoverable_;
+    sim::CounterHandle scrubbed_bytes_;
+    sim::CounterHandle scrub_passes_;
+    sim::SamplerHandle resync_time_ns_;
+    sim::TimeWeightedHandle degraded_replicas_;
 };
 
 } // namespace v3sim::dsa

@@ -60,13 +60,22 @@ Fabric::send(Packet packet, std::function<void()> on_wire)
 
     const sim::Tick serialization =
         sim::transferTime(packet.wire_bytes, config_.bandwidth_bps);
+    // Dropped packets burn serialization time but never propagate;
+    // splitting the paths keeps the hot (delivered) capture within
+    // EventFn's inline budget.
+    if (drop) {
+        src.tx->submit(serialization,
+                       [on_wire = std::move(on_wire)]() mutable {
+                           if (on_wire)
+                               on_wire();
+                       });
+        return;
+    }
     src.tx->submit(serialization,
-                   [this, drop, packet = std::move(packet),
+                   [this, packet = std::move(packet),
                     on_wire = std::move(on_wire)]() mutable {
                        if (on_wire)
                            on_wire();
-                       if (drop)
-                           return;
                        queue_.schedule(config_.propagation,
                                        [this, packet = std::move(packet)]()
                                            mutable {

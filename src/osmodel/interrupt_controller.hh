@@ -77,7 +77,7 @@ class InterruptController
     sim::Simulation &sim_;
     CpuPool &cpus_;
     const HostCosts &costs_;
-    sim::Counter &raised_; ///< registry-owned: "intr.<cpus>.raised"
+    sim::CounterHandle raised_; ///< registry-owned: "intr.<cpus>.raised"
 };
 
 } // namespace v3sim::osmodel

@@ -151,6 +151,8 @@ runTpcc(const TpccRunConfig &config)
     for (auto &client : testbed.clients())
         result.retransmits += client->retransmitCount();
     result.metrics_json = testbed.sim().metrics().toJson();
+    result.events_fired = testbed.sim().queue().firedCount();
+    result.sim_elapsed = testbed.sim().now();
     return result;
 }
 

@@ -62,6 +62,10 @@ struct TpccRunResult
     double disk_utilization = 0;
     uint64_t host_interrupts = 0;
     uint64_t retransmits = 0;
+    /** Simulator self-accounting for bench/selftime: total events the
+     *  run's EventQueue fired and the simulated time it covered. */
+    uint64_t events_fired = 0;
+    sim::Tick sim_elapsed = 0;
     /** Full MetricRegistry snapshot (JSON), rendered before the
      *  testbed is torn down; benches attach it to their artifact. */
     std::string metrics_json;

@@ -1,5 +1,6 @@
 #include "event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace v3sim::sim
@@ -20,79 +21,264 @@ mix64(uint64_t x)
 
 } // namespace
 
-EventQueue::Handle
-EventQueue::schedule(Tick delay, std::function<void()> fn)
+uint64_t
+EventQueue::tieRank(Tick when, uint64_t seq) const
 {
-    if (delay < 0)
-        delay = 0;
-    return scheduleAt(now_ + delay, std::move(fn));
-}
-
-EventQueue::Handle
-EventQueue::scheduleAt(Tick when, std::function<void()> fn)
-{
-    if (when < now_)
-        when = now_;
-    auto control = std::make_shared<Handle::Control>();
-    const uint64_t seq = next_seq_++;
     // Hashed ranks live below 2^63; zero-delay events keep FIFO
     // order above it, after every already-queued same-tick event
     // (see the class comment's tie-shuffle model).
-    constexpr uint64_t kSequencedBase = 1ULL << 63;
-    uint64_t tie;
     if (!tie_shuffle_)
-        tie = seq;
-    else if (when <= now_)
-        tie = kSequencedBase | seq;
-    else
-        tie = mix64(tie_seed_ ^ seq) >> 1;
-    heap_.push(Event{when, tie, seq, std::move(fn), control});
-    ++pending_;
-    return Handle(std::move(control));
+        return seq;
+    if (when <= now_)
+        return kSequencedBase | seq;
+    return mix64(tie_seed_ ^ seq) >> 1;
 }
 
-EventQueue::Handle
-EventQueue::scheduleFinal(std::function<void()> fn)
+EventQueue::Event *
+EventQueue::allocEvent()
 {
-    auto control = std::make_shared<Handle::Control>();
+    if (free_events_ == nullptr) {
+        pool_.emplace_back(new Event[kPoolChunk]);
+        Event *chunk = pool_.back().get();
+        for (size_t i = 0; i < kPoolChunk; ++i) {
+            chunk[i].next = free_events_;
+            free_events_ = &chunk[i];
+        }
+    }
+    Event *event = free_events_;
+    free_events_ = event->next;
+    return event;
+}
+
+void
+EventQueue::releaseEvent(Event *event)
+{
+    event->fn.reset();
+    event->next = free_events_;
+    free_events_ = event;
+}
+
+uint32_t
+EventQueue::allocControl()
+{
+    if (free_control_ != kNoControl) {
+        const uint32_t slot = free_control_;
+        free_control_ = controls_[slot].next_free;
+        controls_[slot].next_free = kNoControl;
+        return slot;
+    }
+    controls_.push_back(ControlSlot{});
+    return static_cast<uint32_t>(controls_.size() - 1);
+}
+
+bool
+EventQueue::releaseControl(uint32_t slot)
+{
+    ControlSlot &ctl = controls_[slot];
+    const bool cancelled = ctl.cancelled;
+    // The generation bump is what retires outstanding handles.
+    ++ctl.gen;
+    ctl.cancelled = false;
+    ctl.next_free = free_control_;
+    free_control_ = slot;
+    return cancelled;
+}
+
+void
+EventQueue::place(Event *event)
+{
+    const uint64_t bucket =
+        static_cast<uint64_t>(event->when) >> kBucketShift;
+    if (event->when < bottomLimit()) {
+        // Sorted insert (descending; earliest at the back). New
+        // arrivals here are same-tick or near-past events, which land
+        // close to the back — short memmoves on a flat key array beat
+        // a heap sift's scattered dereferences.
+        const BottomItem item{event->when, event->tie, event->seq,
+                              event};
+        bottom_.insert(std::lower_bound(bottom_.begin(),
+                                        bottom_.end(), item,
+                                        LaterItem{}),
+                       item);
+    } else if (bucket < windowEnd()) {
+        Event *&head = buckets_[bucket & (kBucketCount - 1)];
+        event->next = head;
+        head = event;
+        ++in_buckets_;
+    } else {
+        overflow_.push_back(
+            BottomItem{event->when, event->tie, event->seq, event});
+        std::push_heap(overflow_.begin(), overflow_.end(),
+                       LaterItem{});
+    }
+}
+
+void
+EventQueue::insertNew(Tick when, uint64_t tie, uint64_t seq,
+                      EventFn fn, uint32_t control)
+{
+    Event *event = allocEvent();
+    event->when = when;
+    event->tie = tie;
+    event->seq = seq;
+    event->next = nullptr;
+    event->control = control;
+    event->fn = std::move(fn);
+    place(event);
+    ++pending_;
+}
+
+void
+EventQueue::schedule(Tick delay, EventFn fn)
+{
+    if (delay < 0)
+        delay = 0;
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    if (when < now_)
+        when = now_;
+    const uint64_t seq = next_seq_++;
+    insertNew(when, tieRank(when, seq), seq, std::move(fn),
+              kNoControl);
+}
+
+void
+EventQueue::scheduleFinal(EventFn fn)
+{
     const uint64_t seq = next_seq_++;
     // The final band tops both the hashed ranks (< 2^63) and the
     // zero-delay sequenced band (2^63 | seq), in shuffle and FIFO
     // modes alike, so final events always close out their tick.
-    constexpr uint64_t kFinalBase = 3ULL << 62;
-    heap_.push(Event{now_, kFinalBase | seq, seq, std::move(fn),
-                     control});
-    ++pending_;
-    return Handle(std::move(control));
+    insertNew(now_, kFinalBase | seq, seq, std::move(fn), kNoControl);
+}
+
+EventQueue::Handle
+EventQueue::scheduleCancelable(Tick delay, EventFn fn)
+{
+    if (delay < 0)
+        delay = 0;
+    return scheduleAtCancelable(now_ + delay, std::move(fn));
+}
+
+EventQueue::Handle
+EventQueue::scheduleAtCancelable(Tick when, EventFn fn)
+{
+    if (when < now_)
+        when = now_;
+    const uint32_t slot = allocControl();
+    const uint64_t seq = next_seq_++;
+    insertNew(when, tieRank(when, seq), seq, std::move(fn), slot);
+    return Handle(this, slot, controls_[slot].gen);
+}
+
+void
+EventQueue::pullFromOverflow(uint64_t limit)
+{
+    // Adopt the overflow events whose bucket the melt has reached.
+    // Pulling lazily — only when `limit` catches up with an event's
+    // bucket — keeps far-future timers in the compact heap instead of
+    // spreading them across the ring, while advance()'s scan cap
+    // guarantees a bucket is never melted past an unpulled event.
+    while (!overflow_.empty() &&
+           (static_cast<uint64_t>(overflow_.front().when) >>
+            kBucketShift) <= limit) {
+        Event *event = overflow_.front().event;
+        std::pop_heap(overflow_.begin(), overflow_.end(),
+                      LaterItem{});
+        overflow_.pop_back();
+        const uint64_t bucket =
+            static_cast<uint64_t>(event->when) >> kBucketShift;
+        Event *&head = buckets_[bucket & (kBucketCount - 1)];
+        event->next = head;
+        head = event;
+        ++in_buckets_;
+    }
+}
+
+bool
+EventQueue::advance()
+{
+    if (!bottom_.empty())
+        return true;
+    if (in_buckets_ == 0 && overflow_.empty())
+        return false;
+    const uint64_t overflow_min =
+        overflow_.empty()
+            ? UINT64_MAX
+            : static_cast<uint64_t>(overflow_.front().when) >>
+                  kBucketShift;
+    // Pick the next bucket to melt: the first non-empty ring bucket,
+    // but never past the earliest overflow event — overflow events
+    // always sit at or after next_bucket_ (the window never rebases
+    // backward), so capping the scan preserves global order.
+    uint64_t index;
+    if (in_buckets_ == 0) {
+        // Ring empty: jump the window straight to the overflow
+        // minimum, no scan.
+        index = overflow_min;
+        next_bucket_ = overflow_min;
+    } else {
+        index = next_bucket_;
+        while (index < overflow_min &&
+               buckets_[index & (kBucketCount - 1)] == nullptr)
+            ++index;
+    }
+    if (index >= overflow_min)
+        pullFromOverflow(index);
+    Event *head = buckets_[index & (kBucketCount - 1)];
+    buckets_[index & (kBucketCount - 1)] = nullptr;
+    next_bucket_ = index + 1;
+    // Melt: bottom_ is empty here, so one sort of the bucket's chain
+    // replaces per-event heap maintenance; fireNext then pops from
+    // the back for free. Keys are copied into the flat array once so
+    // the sort never touches the events again.
+    while (head != nullptr) {
+        Event *next = head->next;
+        bottom_.push_back(
+            BottomItem{head->when, head->tie, head->seq, head});
+        --in_buckets_;
+        head = next;
+    }
+    if (bottom_.size() > 1)
+        std::sort(bottom_.begin(), bottom_.end(), LaterItem{});
+    return true;
 }
 
 void
 EventQueue::fireNext()
 {
-    // priority_queue::top() is const; the event must be moved out, so
-    // const_cast the known-mutable storage before popping.
-    Event event = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
+    Event *event = bottom_.back().event;
+    bottom_.pop_back();
     --pending_;
-    now_ = event.when;
-    event.control->fired = true;
+    now_ = event->when;
     // Counted before the cancellation check so the tally is a pure
     // function of the scheduled ticks, unperturbed by within-tick
     // cancellation order.
-    if (event.when == last_fired_at_)
+    if (event->when == last_fired_at_)
         ++same_tick_fired_;
-    last_fired_at_ = event.when;
-    if (!event.control->cancelled) {
+    last_fired_at_ = event->when;
+    bool cancelled = false;
+    if (event->control != kNoControl)
+        cancelled = releaseControl(event->control);
+    if (!cancelled) {
         ++fired_total_;
-        event.fn();
+        // The event is already detached from every structure, so the
+        // callback may freely schedule (and pool-allocate) more
+        // events; its storage is recycled only after it returns.
+        event->fn();
     }
+    releaseEvent(event);
 }
 
 size_t
 EventQueue::run(size_t max_events)
 {
     size_t fired = 0;
-    while (!heap_.empty() && fired < max_events) {
+    while (fired < max_events && advance()) {
         fireNext();
         ++fired;
     }
@@ -103,7 +289,7 @@ size_t
 EventQueue::runUntil(Tick until)
 {
     size_t fired = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (advance() && bottom_.back().when <= until) {
         fireNext();
         ++fired;
     }

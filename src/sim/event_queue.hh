@@ -4,9 +4,31 @@
  *
  * Events are (time, callback) pairs ordered by time with FIFO
  * tie-breaking via a monotonically increasing sequence number, which
- * makes runs fully deterministic for a given seed. Events can be
- * cancelled through the Handle returned at scheduling time (used by
- * DSA retransmission timers, cDSA poll-timeout fallbacks, etc.).
+ * makes runs fully deterministic for a given seed. The total order
+ * is (when, tie, seq) — identical to the original binary-heap
+ * implementation — but the storage is a two-tier ladder queue tuned
+ * for the simulator's near-future-heavy schedule mix:
+ *
+ *  - a small sorted "bottom" region of events below the drained-
+ *    bucket horizon (the events that can still fire before the next
+ *    bucket is touched); sorted once per bucket melt, popped from
+ *    the back,
+ *  - a ring of fixed-width buckets (unsorted intrusive lists)
+ *    covering the near future; a bucket is sorted only when it
+ *    becomes the next to fire, by melting it into the bottom heap,
+ *  - an overflow min-heap for events beyond the bucket window,
+ *    pulled into buckets when the window rebases past them.
+ *
+ * Every region orders (or defers ordering of) events by the same
+ * (when, tie, seq) key and region boundaries are pure functions of
+ * `when`, so the queue pops the exact sequence the single heap did —
+ * see DESIGN.md §10 for the invariants. Events themselves are
+ * pool-allocated and intrusive (the bucket link lives in the event),
+ * and callbacks are stored inline via sim::EventFn, so the
+ * `schedule()` fast path performs no allocation at all once the pool
+ * is warm. Cancellation handles are opt-in (`scheduleCancelable`)
+ * and use generation-counted slots instead of shared_ptr control
+ * blocks.
  *
  * Tie-shuffle debug mode (DESIGN.md §8): setTieShuffle(seed)
  * randomizes the ordering of *independently scheduled* events that
@@ -24,24 +46,32 @@
 #define V3SIM_SIM_EVENT_QUEUE_HH
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hh"
 #include "sim/types.hh"
 
 namespace v3sim::sim
 {
 
-/** Min-heap of timed callbacks with deterministic ordering. */
+/** Deterministic ladder queue of timed callbacks. */
 class EventQueue
 {
   public:
     /**
-     * Cancellation handle for a scheduled event. Default-constructed
-     * handles are inert. Cancelling an already-fired event is a
-     * harmless no-op.
+     * Cancellation handle for an event scheduled through one of the
+     * *Cancelable entry points. Default-constructed handles are
+     * inert; copies all refer to the same event. Cancelling an
+     * already-fired event is a harmless no-op: the handle carries a
+     * generation counter and goes stale the moment its event pops
+     * (or its slot is reused), so no shared control block exists.
+     *
+     * Lifetime rule: a Handle must not outlive its EventQueue (it
+     * holds a plain pointer back to it). Every in-tree holder is a
+     * component owned by the same Simulation, which satisfies this
+     * by construction; see DESIGN.md §10.3.
      */
     class Handle
     {
@@ -52,32 +82,28 @@ class EventQueue
         void
         cancel()
         {
-            if (auto ctl = control_.lock())
-                ctl->cancelled = true;
+            if (queue_ != nullptr)
+                queue_->cancelSlot(slot_, gen_);
         }
 
         /** True if the event is still scheduled and not cancelled. */
         bool
         pending() const
         {
-            auto ctl = control_.lock();
-            return ctl && !ctl->cancelled && !ctl->fired;
+            return queue_ != nullptr &&
+                   queue_->slotPending(slot_, gen_);
         }
 
       private:
         friend class EventQueue;
 
-        struct Control
-        {
-            bool cancelled = false;
-            bool fired = false;
-        };
-
-        explicit Handle(std::shared_ptr<Control> control)
-            : control_(std::move(control))
+        Handle(EventQueue *queue, uint32_t slot, uint32_t gen)
+            : queue_(queue), slot_(slot), gen_(gen)
         {}
 
-        std::weak_ptr<Control> control_;
+        EventQueue *queue_ = nullptr;
+        uint32_t slot_ = 0;
+        uint32_t gen_ = 0;
     };
 
     EventQueue() = default;
@@ -87,13 +113,18 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedules @p fn to run @p delay after now. Negative delays clamp
-     *  to zero (fires this tick, after already-queued same-time events).
+    /**
+     * Schedules @p fn to run @p delay after now. Negative delays
+     * clamp to zero (fires this tick, after already-queued same-time
+     * events). Fire-and-forget: no cancellation handle, no control
+     * slot, and — for callables within EventFn's inline budget — no
+     * allocation.
      */
-    Handle schedule(Tick delay, std::function<void()> fn);
+    void schedule(Tick delay, EventFn fn);
 
-    /** Schedules @p fn at absolute time @p when (>= now, else clamped). */
-    Handle scheduleAt(Tick when, std::function<void()> fn);
+    /** Schedules @p fn at absolute time @p when (>= now, else
+     *  clamped). Fire-and-forget, like schedule(). */
+    void scheduleAt(Tick when, EventFn fn);
 
     /**
      * Schedules @p fn in the current tick's *final band*: it fires
@@ -110,7 +141,14 @@ class EventQueue
      * rather than of their (unspecified, tie-shuffled) arrival order.
      * See DESIGN.md §8.3.
      */
-    Handle scheduleFinal(std::function<void()> fn);
+    void scheduleFinal(EventFn fn);
+
+    /** Like schedule(), but returns a cancellation Handle (this is
+     *  the only path that touches a control slot). */
+    Handle scheduleCancelable(Tick delay, EventFn fn);
+
+    /** Like scheduleAt(), but returns a cancellation Handle. */
+    Handle scheduleAtCancelable(Tick when, EventFn fn);
 
     /** Number of events scheduled but not yet fired or cancelled. */
     size_t pendingCount() const { return pending_; }
@@ -162,7 +200,19 @@ class EventQueue
 
     bool tieShuffleEnabled() const { return tie_shuffle_; }
 
+    /** Control slots ever created — grows only on scheduleCancelable
+     *  (slots are recycled), never on the fire-and-forget path. Test
+     *  introspection backing the "schedule() allocates no control
+     *  block" guarantee. */
+    size_t controlSlotCount() const { return controls_.size(); }
+
+    /** Events currently parked in the far-future overflow heap.
+     *  Test introspection for ladder<->overflow migration. */
+    size_t overflowCount() const { return overflow_.size(); }
+
   private:
+    /** Pooled intrusive event: two cache lines including the inline
+     *  callback buffer. Never relocated once allocated. */
     struct Event
     {
         Tick when;
@@ -171,14 +221,62 @@ class EventQueue
          *  >= 2^63 for zero-delay events so they stay last). */
         uint64_t tie;
         uint64_t seq;
-        std::function<void()> fn;
-        std::shared_ptr<Handle::Control> control;
+        /** Bucket chain / free-list link. */
+        Event *next;
+        /** Index into controls_, or kNoControl (fast path). */
+        uint32_t control;
+        EventFn fn;
     };
 
-    struct Later
+    /** Generation-counted cancellation slot. The generation bumps
+     *  every time the slot's event pops (fired or cancelled), so
+     *  outstanding handles with the old generation go inert. */
+    struct ControlSlot
+    {
+        uint32_t gen = 0;
+        uint32_t next_free = kNoControl;
+        bool cancelled = false;
+    };
+
+    static constexpr uint32_t kNoControl = UINT32_MAX;
+
+    /** Bucket geometry: 8192 buckets x 8.192us ≈ a 67ms window. Wide
+     *  enough that transaction think times and retransmit/poll
+     *  timeouts land directly in the ring; only failure injections
+     *  and end-of-run timers pay the overflow-heap double transit.
+     *  (The ring is 64KiB of pointers — still cache-friendly because
+     *  the melt scan only touches the populated stretch.) */
+    static constexpr int kBucketShift = 13;
+    static constexpr Tick kBucketWidth = Tick(1) << kBucketShift;
+    static constexpr size_t kBucketCount = size_t(1) << 13;
+
+    /** Events per pool chunk. */
+    static constexpr size_t kPoolChunk = 256;
+
+    /** Tie-rank band bases (see tie-shuffle model above). */
+    static constexpr uint64_t kSequencedBase = 1ULL << 63;
+    static constexpr uint64_t kFinalBase = 3ULL << 62;
+
+    /** Bottom/overflow element: the sort key copied out of the
+     *  event, so melt sorts, sorted inserts and heap sifts compare
+     *  locally instead of dereferencing scattered pool storage. */
+    struct BottomItem
+    {
+        Tick when;
+        uint64_t tie;
+        uint64_t seq;
+        Event *event;
+    };
+
+    /** Later-than on the inlined keys: the (when, tie, seq) total
+     *  order, inverted so descending-sorted vectors (bottom_) keep
+     *  the earliest event at the back and min-heaps (overflow_) at
+     *  the front. seq is unique, so this is a strict total order and
+     *  unstable sorts cannot reorder equals. */
+    struct LaterItem
     {
         bool
-        operator()(const Event &a, const Event &b) const
+        operator()(const BottomItem &a, const BottomItem &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -188,10 +286,80 @@ class EventQueue
         }
     };
 
-    /** Pops and fires the next event. Precondition: !heap_.empty(). */
+    /** First absolute tick that is NOT in the bottom heap's region:
+     *  everything below has either fired or sits sorted in bottom_. */
+    Tick
+    bottomLimit() const
+    {
+        return static_cast<Tick>(next_bucket_) << kBucketShift;
+    }
+
+    /** One-past-the-last absolute bucket index the window covers. */
+    uint64_t
+    windowEnd() const
+    {
+        return next_bucket_ + kBucketCount;
+    }
+
+    uint64_t tieRank(Tick when, uint64_t seq) const;
+
+    Event *allocEvent();
+    void releaseEvent(Event *event);
+    uint32_t allocControl();
+    /** Frees the slot and bumps its generation; returns whether the
+     *  event had been cancelled. */
+    bool releaseControl(uint32_t slot);
+
+    void insertNew(Tick when, uint64_t tie, uint64_t seq, EventFn fn,
+                   uint32_t control);
+    /** Region dispatch: bottom heap / bucket ring / overflow. */
+    void place(Event *event);
+    /** Moves overflow events with bucket index <= @p limit into the
+     *  ring. Called by advance() when the melt reaches the overflow
+     *  minimum, so far-future events stay in the compact heap until
+     *  they are actually due. */
+    void pullFromOverflow(uint64_t limit);
+    /** Ensures bottom_ holds the global minimum (melting buckets and
+     *  pulling overflow as needed). @return false iff no events. */
+    bool advance();
+    /** Pops and fires the next event. Precondition: advance(). */
     void fireNext();
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    bool
+    slotPending(uint32_t slot, uint32_t gen) const
+    {
+        return slot < controls_.size() &&
+               controls_[slot].gen == gen &&
+               !controls_[slot].cancelled;
+    }
+
+    void
+    cancelSlot(uint32_t slot, uint32_t gen)
+    {
+        if (slot < controls_.size() && controls_[slot].gen == gen)
+            controls_[slot].cancelled = true;
+    }
+
+    /** Chunked arena owning every Event; chunks never move. */
+    std::vector<std::unique_ptr<Event[]>> pool_;
+    Event *free_events_ = nullptr;
+
+    std::vector<ControlSlot> controls_;
+    uint32_t free_control_ = kNoControl;
+
+    /** Sorted region: events with when < bottomLimit(), descending
+     *  (earliest at the back — fireNext pops from the back). */
+    std::vector<BottomItem> bottom_;
+    /** Near-future ring; slot = absolute bucket index mod size. */
+    std::vector<Event *> buckets_ =
+        std::vector<Event *>(kBucketCount, nullptr);
+    size_t in_buckets_ = 0;
+    /** Lowest absolute bucket index not yet melted into bottom_. */
+    uint64_t next_bucket_ = 0;
+    /** Far region: min-heap of events at/after the window end.
+     *  Keys are inlined (BottomItem) so heap sifts compare locally. */
+    std::vector<BottomItem> overflow_;
+
     Tick now_ = 0;
     uint64_t next_seq_ = 0;
     size_t pending_ = 0;

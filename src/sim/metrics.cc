@@ -27,51 +27,60 @@ MetricRegistry::checkNewPath(const std::string &path) const
 {
     if (path.empty())
         throw std::invalid_argument("metric path must not be empty");
-    if (metrics_.count(path)) {
+    if (index_.count(path)) {
         throw std::invalid_argument("duplicate metric path: " +
                                     path);
     }
 }
 
-Counter &
+const MetricRegistry::Entry *
+MetricRegistry::find(const std::string &path, MetricKind kind) const
+{
+    const auto it = index_.find(path);
+    if (it == index_.end() || it->second.kind != kind)
+        return nullptr;
+    return &it->second;
+}
+
+CounterHandle
 MetricRegistry::counter(const std::string &path)
 {
     checkNewPath(path);
-    auto owned = std::make_unique<Counter>();
-    Counter &ref = *owned;
-    metrics_.emplace(path, std::move(owned));
-    return ref;
+    counters_.emplace_back();
+    index_.emplace(path,
+                   Entry{MetricKind::Counter, counters_.size() - 1});
+    return CounterHandle(&counters_.back());
 }
 
-Sampler &
+SamplerHandle
 MetricRegistry::sampler(const std::string &path)
 {
     checkNewPath(path);
-    auto owned = std::make_unique<Sampler>();
-    Sampler &ref = *owned;
-    metrics_.emplace(path, std::move(owned));
-    return ref;
+    samplers_.emplace_back();
+    index_.emplace(path,
+                   Entry{MetricKind::Sampler, samplers_.size() - 1});
+    return SamplerHandle(&samplers_.back());
 }
 
-Histogram &
+HistogramHandle
 MetricRegistry::histogram(const std::string &path)
 {
     checkNewPath(path);
-    auto owned = std::make_unique<Histogram>();
-    Histogram &ref = *owned;
-    metrics_.emplace(path, std::move(owned));
-    return ref;
+    histograms_.emplace_back();
+    index_.emplace(path, Entry{MetricKind::Histogram,
+                               histograms_.size() - 1});
+    return HistogramHandle(&histograms_.back());
 }
 
-TimeWeighted &
+TimeWeightedHandle
 MetricRegistry::timeWeighted(const std::string &path)
 {
     checkNewPath(path);
-    auto owned = std::make_unique<TimeWeighted>();
-    owned->reset(now(), 0.0);
-    TimeWeighted &ref = *owned;
-    metrics_.emplace(path, std::move(owned));
-    return ref;
+    time_weighted_.emplace_back();
+    time_weighted_.back().reset(now(), 0.0);
+    index_.emplace(path, Entry{MetricKind::TimeWeighted,
+                               time_weighted_.size() - 1});
+    return TimeWeightedHandle(&time_weighted_.back());
 }
 
 void
@@ -81,7 +90,9 @@ MetricRegistry::gauge(const std::string &path,
     checkNewPath(path);
     if (!fn)
         throw std::invalid_argument("gauge callback must be set");
-    metrics_.emplace(path, std::move(fn));
+    gauges_.push_back(std::move(fn));
+    index_.emplace(path,
+                   Entry{MetricKind::Gauge, gauges_.size() - 1});
 }
 
 void
@@ -103,77 +114,52 @@ MetricRegistry::uniquePrefix(const std::string &base)
 bool
 MetricRegistry::contains(const std::string &path) const
 {
-    return metrics_.count(path) != 0;
+    return index_.count(path) != 0;
 }
 
 const Counter *
 MetricRegistry::findCounter(const std::string &path) const
 {
-    const auto it = metrics_.find(path);
-    if (it == metrics_.end())
-        return nullptr;
-    const auto *owned =
-        std::get_if<std::unique_ptr<Counter>>(&it->second);
-    return owned ? owned->get() : nullptr;
+    const Entry *entry = find(path, MetricKind::Counter);
+    return entry ? &counters_[entry->index] : nullptr;
 }
 
 const Sampler *
 MetricRegistry::findSampler(const std::string &path) const
 {
-    const auto it = metrics_.find(path);
-    if (it == metrics_.end())
-        return nullptr;
-    const auto *owned =
-        std::get_if<std::unique_ptr<Sampler>>(&it->second);
-    return owned ? owned->get() : nullptr;
+    const Entry *entry = find(path, MetricKind::Sampler);
+    return entry ? &samplers_[entry->index] : nullptr;
 }
 
 const Histogram *
 MetricRegistry::findHistogram(const std::string &path) const
 {
-    const auto it = metrics_.find(path);
-    if (it == metrics_.end())
-        return nullptr;
-    const auto *owned =
-        std::get_if<std::unique_ptr<Histogram>>(&it->second);
-    return owned ? owned->get() : nullptr;
+    const Entry *entry = find(path, MetricKind::Histogram);
+    return entry ? &histograms_[entry->index] : nullptr;
 }
 
 const TimeWeighted *
 MetricRegistry::findTimeWeighted(const std::string &path) const
 {
-    const auto it = metrics_.find(path);
-    if (it == metrics_.end())
-        return nullptr;
-    const auto *owned =
-        std::get_if<std::unique_ptr<TimeWeighted>>(&it->second);
-    return owned ? owned->get() : nullptr;
+    const Entry *entry = find(path, MetricKind::TimeWeighted);
+    return entry ? &time_weighted_[entry->index] : nullptr;
 }
 
 void
 MetricRegistry::resetEpoch()
 {
     const Tick at = now();
-    for (auto &[path, stored] : metrics_) {
-        std::visit(
-            [at](auto &metric) {
-                using T = std::decay_t<decltype(metric)>;
-                if constexpr (std::is_same_v<
-                                  T, std::unique_ptr<Counter>> ||
-                              std::is_same_v<
-                                  T, std::unique_ptr<Sampler>> ||
-                              std::is_same_v<
-                                  T, std::unique_ptr<Histogram>>) {
-                    metric->reset();
-                } else if constexpr (std::is_same_v<
-                                         T, std::unique_ptr<
-                                                TimeWeighted>>) {
-                    metric->reset(at, metric->current());
-                }
-                // Gauges are derived; nothing to reset.
-            },
-            stored);
-    }
+    // Reset order is irrelevant (each metric is independent), so the
+    // per-kind stores are walked directly instead of via the index.
+    for (auto &counter : counters_)
+        counter.reset();
+    for (auto &sampler : samplers_)
+        sampler.reset();
+    for (auto &histogram : histograms_)
+        histogram.reset();
+    for (auto &tw : time_weighted_)
+        tw.reset(at, tw.current());
+    // Gauges are derived; nothing to reset.
     for (const auto &hook : hooks_)
         hook(at);
     epoch_start_ = at;
@@ -184,45 +170,41 @@ MetricRegistry::snapshot() const
 {
     const Tick at = now();
     Snapshot snap;
-    for (const auto &[path, stored] : metrics_) {
+    for (const auto &[path, entry] : index_) {
         Value v;
-        std::visit(
-            [&v, at](const auto &metric) {
-                using T = std::decay_t<decltype(metric)>;
-                if constexpr (std::is_same_v<
-                                  T, std::unique_ptr<Counter>>) {
-                    v.kind = MetricKind::Counter;
-                    v.count = metric->value();
-                } else if constexpr (std::is_same_v<
-                                         T,
-                                         std::unique_ptr<Sampler>>) {
-                    v.kind = MetricKind::Sampler;
-                    v.count = metric->count();
-                    v.sum = metric->sum();
-                    v.mean = metric->mean();
-                    v.min = metric->min();
-                    v.max = metric->max();
-                    v.stddev = metric->stddev();
-                } else if constexpr (std::is_same_v<
-                                         T, std::unique_ptr<
-                                                Histogram>>) {
-                    v.kind = MetricKind::Histogram;
-                    v.count = metric->count();
-                    v.p50 = metric->quantile(0.50);
-                    v.p95 = metric->quantile(0.95);
-                    v.p99 = metric->quantile(0.99);
-                } else if constexpr (std::is_same_v<
-                                         T, std::unique_ptr<
-                                                TimeWeighted>>) {
-                    v.kind = MetricKind::TimeWeighted;
-                    v.value = metric->current();
-                    v.average = metric->average(at);
-                } else {
-                    v.kind = MetricKind::Gauge;
-                    v.value = metric();
-                }
-            },
-            stored);
+        v.kind = entry.kind;
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            v.count = counters_[entry.index].value();
+            break;
+          case MetricKind::Sampler: {
+            const Sampler &s = samplers_[entry.index];
+            v.count = s.count();
+            v.sum = s.sum();
+            v.mean = s.mean();
+            v.min = s.min();
+            v.max = s.max();
+            v.stddev = s.stddev();
+            break;
+          }
+          case MetricKind::Histogram: {
+            const Histogram &h = histograms_[entry.index];
+            v.count = h.count();
+            v.p50 = h.quantile(0.50);
+            v.p95 = h.quantile(0.95);
+            v.p99 = h.quantile(0.99);
+            break;
+          }
+          case MetricKind::TimeWeighted: {
+            const TimeWeighted &tw = time_weighted_[entry.index];
+            v.value = tw.current();
+            v.average = tw.average(at);
+            break;
+          }
+          case MetricKind::Gauge:
+            v.value = gauges_[entry.index]();
+            break;
+        }
         snap.emplace(path, v);
     }
     return snap;

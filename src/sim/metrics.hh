@@ -18,10 +18,15 @@
  *
  * Two registration styles:
  *  - owned metrics: counter()/sampler()/histogram()/timeWeighted()
- *    allocate the metric inside the registry and return a stable
- *    reference the component keeps. Epoch reset and snapshot handle
- *    them automatically, and they stay valid (frozen) even after the
- *    registering component dies.
+ *    allocate the metric inside the registry and return a
+ *    CounterHandle/SamplerHandle/... the component keeps. The handle
+ *    is resolved once at registration — per-event recording through
+ *    it is a single pointer dereference, never a string lookup (the
+ *    simlint `metric-handle` rule enforces this in hot paths). The
+ *    string-keyed map exists only for registration, lookup, and
+ *    snapshot/JSON export. Handles stay valid (frozen) even after
+ *    the registering component dies, but must not outlive the
+ *    registry.
  *  - gauges + hooks: gauge() registers a lazy callback for derived
  *    values (hit ratio, utilization, live table entries); its owner
  *    must outlive any snapshot. onEpochReset() registers a callback
@@ -37,11 +42,10 @@
 #define V3SIM_SIM_METRICS_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
-#include <memory>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -49,6 +53,8 @@
 
 namespace v3sim::sim
 {
+
+class MetricRegistry;
 
 /** What shape of metric lives at a path. */
 enum class MetricKind : uint8_t
@@ -61,6 +67,110 @@ enum class MetricKind : uint8_t
 };
 
 const char *metricKindName(MetricKind kind);
+
+/**
+ * @name Metric handles
+ *
+ * Thin stable pointers into registry-owned metric storage, resolved
+ * once at registration. Copyable; default-constructed handles are
+ * null and must be assigned before use. A handle must not outlive
+ * its MetricRegistry (DESIGN.md §10.3).
+ * @{
+ */
+
+/** Handle to a registry-owned Counter. */
+class CounterHandle
+{
+  public:
+    CounterHandle() = default;
+
+    void increment(uint64_t by = 1) { counter_->increment(by); }
+    uint64_t value() const { return counter_->value(); }
+    void reset() { counter_->reset(); }
+
+    /** The underlying metric, for read-style accessors. */
+    const Counter &raw() const { return *counter_; }
+
+  private:
+    friend class MetricRegistry;
+    explicit CounterHandle(Counter *counter) : counter_(counter) {}
+    Counter *counter_ = nullptr;
+};
+
+/** Handle to a registry-owned Sampler. */
+class SamplerHandle
+{
+  public:
+    SamplerHandle() = default;
+
+    void add(double sample) { sampler_->add(sample); }
+    uint64_t count() const { return sampler_->count(); }
+    double sum() const { return sampler_->sum(); }
+    double mean() const { return sampler_->mean(); }
+    double min() const { return sampler_->min(); }
+    double max() const { return sampler_->max(); }
+    double stddev() const { return sampler_->stddev(); }
+    void reset() { sampler_->reset(); }
+
+    /** The underlying metric, for read-style accessors. */
+    const Sampler &raw() const { return *sampler_; }
+
+  private:
+    friend class MetricRegistry;
+    explicit SamplerHandle(Sampler *sampler) : sampler_(sampler) {}
+    Sampler *sampler_ = nullptr;
+};
+
+/** Handle to a registry-owned Histogram. */
+class HistogramHandle
+{
+  public:
+    HistogramHandle() = default;
+
+    void add(double value) { histogram_->add(value); }
+    uint64_t count() const { return histogram_->count(); }
+    double quantile(double q) const
+    {
+        return histogram_->quantile(q);
+    }
+    void reset() { histogram_->reset(); }
+
+    /** The underlying metric, for read-style accessors. */
+    const Histogram &raw() const { return *histogram_; }
+
+  private:
+    friend class MetricRegistry;
+    explicit HistogramHandle(Histogram *histogram)
+        : histogram_(histogram)
+    {}
+    Histogram *histogram_ = nullptr;
+};
+
+/** Handle to a registry-owned TimeWeighted. */
+class TimeWeightedHandle
+{
+  public:
+    TimeWeightedHandle() = default;
+
+    void set(Tick now, double value) { tw_->set(now, value); }
+    void adjust(Tick now, double delta) { tw_->adjust(now, delta); }
+    double current() const { return tw_->current(); }
+    double average(Tick now) const { return tw_->average(now); }
+    void reset(Tick now, double value = 0.0)
+    {
+        tw_->reset(now, value);
+    }
+
+    /** The underlying metric, for read-style accessors. */
+    const TimeWeighted &raw() const { return *tw_; }
+
+  private:
+    friend class MetricRegistry;
+    explicit TimeWeightedHandle(TimeWeighted *tw) : tw_(tw) {}
+    TimeWeighted *tw_ = nullptr;
+};
+
+/** @} */
 
 /** Hierarchical registry of named metrics, one per Simulation. */
 class MetricRegistry
@@ -77,10 +187,10 @@ class MetricRegistry
 
     /** @name Owned-metric registration (throws std::invalid_argument
      *  on an empty or duplicate path) @{ */
-    Counter &counter(const std::string &path);
-    Sampler &sampler(const std::string &path);
-    Histogram &histogram(const std::string &path);
-    TimeWeighted &timeWeighted(const std::string &path);
+    CounterHandle counter(const std::string &path);
+    SamplerHandle sampler(const std::string &path);
+    HistogramHandle histogram(const std::string &path);
+    TimeWeightedHandle timeWeighted(const std::string &path);
     /** @} */
 
     /** Registers a lazy derived value. The callback must stay valid
@@ -101,14 +211,12 @@ class MetricRegistry
 
     /** @name Lookup @{ */
     bool contains(const std::string &path) const;
-    /** Kind at @p path; nullopt-style: throws if absent — use
-     *  contains() first, or findX below. */
     const Counter *findCounter(const std::string &path) const;
     const Sampler *findSampler(const std::string &path) const;
     const Histogram *findHistogram(const std::string &path) const;
     const TimeWeighted *findTimeWeighted(const std::string &path) const;
     /** Number of registered metrics (gauges included). */
-    size_t size() const { return metrics_.size(); }
+    size_t size() const { return index_.size(); }
     /** @} */
 
     /** Current time per the registry's clock. */
@@ -160,16 +268,29 @@ class MetricRegistry
     static std::string toJson(const Snapshot &snap);
 
   private:
-    using Stored = std::variant<std::unique_ptr<Counter>,
-                                std::unique_ptr<Sampler>,
-                                std::unique_ptr<Histogram>,
-                                std::unique_ptr<TimeWeighted>,
-                                std::function<double()>>;
+    /** Where a path's metric lives: which per-kind store, at which
+     *  index. Deques never relocate elements, so the raw pointers
+     *  handed out as handles stay stable for the registry's life. */
+    struct Entry
+    {
+        MetricKind kind;
+        size_t index;
+    };
 
     /** Throws on empty/duplicate path. */
     void checkNewPath(const std::string &path) const;
 
-    std::map<std::string, Stored> metrics_;
+    const Entry *find(const std::string &path,
+                      MetricKind kind) const;
+
+    /** Registration/snapshot map only — never touched by recording. */
+    std::map<std::string, Entry> index_;
+    std::deque<Counter> counters_;
+    std::deque<Sampler> samplers_;
+    std::deque<Histogram> histograms_;
+    std::deque<TimeWeighted> time_weighted_;
+    std::deque<std::function<double()>> gauges_;
+
     std::vector<std::function<void(Tick)>> hooks_;
     std::map<std::string, uint32_t> prefix_uses_;
     NowFn now_;

@@ -12,39 +12,62 @@ ServerPool::ServerPool(EventQueue &queue, int servers, std::string name)
     busy_integral_.reset(queue_.now(), 0.0);
 }
 
-void
-ServerPool::submit(Tick service, std::function<void()> done)
+ServerPool::Job *
+ServerPool::allocJob()
 {
-    Job job{service, queue_.now(), std::move(done)};
+    if (free_jobs_ != nullptr) {
+        Job *job = free_jobs_;
+        free_jobs_ = job->next_free;
+        job->next_free = nullptr;
+        return job;
+    }
+    slab_.emplace_back();
+    return &slab_.back();
+}
+
+void
+ServerPool::releaseJob(Job *job)
+{
+    job->done.reset();
+    job->next_free = free_jobs_;
+    free_jobs_ = job;
+}
+
+void
+ServerPool::submit(Tick service, EventFn done)
+{
+    Job *job = allocJob();
+    job->service = service;
+    job->enqueued = queue_.now();
+    job->done = std::move(done);
     if (busy_ < servers_) {
-        startJob(std::move(job));
+        startJob(job);
     } else {
-        waiting_.push_back(std::move(job));
+        waiting_.push_back(job);
     }
 }
 
 void
-ServerPool::startJob(Job job)
+ServerPool::startJob(Job *job)
 {
     ++busy_;
     busy_integral_.set(queue_.now(), static_cast<double>(busy_));
-    wait_stats_.add(static_cast<double>(queue_.now() - job.enqueued));
-    queue_.schedule(job.service,
-                    [this, done = std::move(job.done)]() mutable {
-                        onJobDone(std::move(done));
-                    });
+    wait_stats_.add(static_cast<double>(queue_.now() - job->enqueued));
+    queue_.schedule(job->service, [this, job] { onJobDone(job); });
 }
 
 void
-ServerPool::onJobDone(std::function<void()> done)
+ServerPool::onJobDone(Job *job)
 {
     --busy_;
     busy_integral_.set(queue_.now(), static_cast<double>(busy_));
     ++completed_;
+    EventFn done = std::move(job->done);
+    releaseJob(job);
     if (!waiting_.empty()) {
-        Job next = std::move(waiting_.front());
+        Job *next = waiting_.front();
         waiting_.pop_front();
-        startJob(std::move(next));
+        startJob(next);
     }
     done();
 }

@@ -41,7 +41,7 @@ class ServerPool
     ServerPool(EventQueue &queue, int servers, std::string name = "");
 
     /** Enqueues a job; @p done fires when its service completes. */
-    void submit(Tick service, std::function<void()> done);
+    void submit(Tick service, EventFn done);
 
     /** Awaitable submission: co_await pool.use(service). */
     auto
@@ -83,21 +83,30 @@ class ServerPool
     void resetStats();
 
   private:
+    /** Pooled job node: completion events capture only {pool, node},
+     *  so the service-completion path never heap-allocates no matter
+     *  how large the done callback's inline state is. */
     struct Job
     {
-        Tick service;
-        Tick enqueued;
-        std::function<void()> done;
+        Tick service = 0;
+        Tick enqueued = 0;
+        EventFn done;
+        Job *next_free = nullptr;
     };
 
-    void startJob(Job job);
-    void onJobDone(std::function<void()> done);
+    Job *allocJob();
+    void releaseJob(Job *job);
+    void startJob(Job *job);
+    void onJobDone(Job *job);
 
     EventQueue &queue_;
     int servers_;
     std::string name_;
     int busy_ = 0;
-    std::deque<Job> waiting_;
+    std::deque<Job *> waiting_;
+    /** Slab owning every Job node (deque: stable addresses). */
+    std::deque<Job> slab_;
+    Job *free_jobs_ = nullptr;
     TimeWeighted busy_integral_;
     Sampler wait_stats_;
     uint64_t completed_ = 0;

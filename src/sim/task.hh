@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/frame_arena.hh"
 #include "sim/types.hh"
 
 namespace v3sim::sim
@@ -65,6 +66,16 @@ struct FinalAwaiter
 struct PromiseBase
 {
     std::coroutine_handle<> continuation;
+
+    /** Frames come from the arena; only the sized form is declared,
+     *  so the compiler must (and does) call it on frame destruction. */
+    void *operator new(size_t size) { return FrameArena::allocate(size); }
+
+    void
+    operator delete(void *ptr, size_t size) noexcept
+    {
+        FrameArena::deallocate(ptr, size);
+    }
 
     std::suspend_always initial_suspend() const noexcept { return {}; }
 
@@ -281,6 +292,18 @@ struct DetachedTask
 {
     struct promise_type
     {
+        void *
+        operator new(size_t size)
+        {
+            return FrameArena::allocate(size);
+        }
+
+        void
+        operator delete(void *ptr, size_t size) noexcept
+        {
+            FrameArena::deallocate(ptr, size);
+        }
+
         DetachedTask get_return_object() const { return {}; }
         std::suspend_never initial_suspend() const noexcept { return {}; }
         std::suspend_never final_suspend() const noexcept { return {}; }

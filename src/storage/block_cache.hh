@@ -22,12 +22,12 @@
 #include <functional>
 #include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/memory.hh"
 #include "sim/metrics.hh"
 #include "sim/stats.hh"
+#include "util/flat_map.hh"
 
 namespace v3sim::storage
 {
@@ -201,7 +201,7 @@ class LruCache : public BlockCache
     std::optional<uint64_t> evictOne();
 
     LruList lru_; ///< front = LRU, back = MRU
-    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+    util::FlatMap<CacheKey, LruList::iterator, CacheKeyHash> map_;
     std::vector<uint64_t> free_frames_;
 };
 

@@ -28,7 +28,6 @@
 #include <cstdint>
 #include <deque>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "storage/block_cache.hh"
@@ -107,12 +106,12 @@ class MqCache : public BlockCache
     uint64_t now_ = 0; ///< access clock
 
     std::vector<QueueList> queues_;
-    std::unordered_map<CacheKey, QueueList::iterator, CacheKeyHash>
+    util::FlatMap<CacheKey, QueueList::iterator, CacheKeyHash>
         map_;
     std::vector<uint64_t> free_frames_;
 
     /** Ghost entries: key -> remembered frequency, FIFO-bounded. */
-    std::unordered_map<CacheKey, uint64_t, CacheKeyHash> ghost_map_;
+    util::FlatMap<CacheKey, uint64_t, CacheKeyHash> ghost_map_;
     std::deque<CacheKey> ghost_fifo_;
     uint64_t ghost_capacity_;
 };

@@ -195,7 +195,7 @@ class V3Server : public vi::NodeFaultTarget
     /** Server-resident time per request: arrival at the request
      *  manager to completion post (the Figure 4 "V3 Storage Server"
      *  component). */
-    const sim::Sampler &serverTime() const { return server_time_; }
+    const sim::Sampler &serverTime() const { return server_time_.raw(); }
 
     double
     cacheHitRatio() const
@@ -328,25 +328,25 @@ class V3Server : public vi::NodeFaultTarget
     bool crashed_ = false;
 
     /** Blocks currently being read from disk (miss coalescing). */
-    std::unordered_map<CacheKey, std::unique_ptr<sim::CondEvent>,
-                       CacheKeyHash>
+    util::FlatMap<CacheKey, std::unique_ptr<sim::CondEvent>,
+                  CacheKeyHash>
         loading_;
 
     /// Registry path prefix ("server.<name>", uniquified); must
     /// precede the metric references so it is initialised first.
     std::string metric_prefix_;
 
-    sim::Counter &reads_;
-    sim::Counter &writes_;
-    sim::Counter &hints_;
-    sim::Counter &prefetched_;
-    sim::Counter &retransmit_hits_;
-    sim::Counter &crashes_;
-    sim::Counter &restarts_;
-    sim::Counter &bad_requests_;
-    sim::Counter &digest_mismatches_;
-    sim::Counter &integrity_errors_;
-    sim::Sampler &server_time_;
+    sim::CounterHandle reads_;
+    sim::CounterHandle writes_;
+    sim::CounterHandle hints_;
+    sim::CounterHandle prefetched_;
+    sim::CounterHandle retransmit_hits_;
+    sim::CounterHandle crashes_;
+    sim::CounterHandle restarts_;
+    sim::CounterHandle bad_requests_;
+    sim::CounterHandle digest_mismatches_;
+    sim::CounterHandle integrity_errors_;
+    sim::SamplerHandle server_time_;
 };
 
 } // namespace v3sim::storage

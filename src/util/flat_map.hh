@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Open-addressing hash map for simulator hot paths.
+ *
+ * std::unordered_map pays a hardware division (prime-modulo bucket
+ * policy) plus a node-chain walk on every lookup; on the block-cache
+ * paths those lookups are among the hottest instructions in the whole
+ * simulator. FlatMap stores slots in one contiguous power-of-two
+ * array with linear probing and backward-shift deletion (no
+ * tombstones), so a lookup is a multiply, a mask, and a short linear
+ * scan over adjacent memory.
+ *
+ * Deliberate restrictions, sized to the simulator's needs:
+ *  - No iteration API. Hot-path maps must never be iterated: the
+ *    slot order depends on insertion history, and model code walking
+ *    it would tie simulation behavior to hash-table internals (a
+ *    determinism hazard the simlint race detector exists to catch).
+ *  - find() returns a pointer-like iterator that is invalidated by
+ *    any insertion or erasure; call sites use it immediately.
+ *  - The mapped type needs only default construction and move
+ *    assignment (move-only values like unique_ptr work).
+ */
+
+#ifndef V3SIM_UTIL_FLAT_MAP_HH
+#define V3SIM_UTIL_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace v3sim::util
+{
+
+template <typename K, typename V, typename Hash>
+class FlatMap
+{
+  public:
+    /** Slot layout; exposed so find() results read like pair
+     *  iterators (`it->first`, `it->second`). */
+    struct Slot
+    {
+        K first{};
+        V second{};
+        bool used = false;
+    };
+
+    using iterator = Slot *;
+    using const_iterator = const Slot *;
+
+    iterator end() { return nullptr; }
+    const_iterator end() const { return nullptr; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    iterator
+    find(const K &key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        std::size_t i = indexOf(key);
+        while (slots_[i].used) {
+            if (slots_[i].first == key)
+                return &slots_[i];
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    const_iterator
+    find(const K &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    V &
+    operator[](const K &key)
+    {
+        maybeGrow();
+        std::size_t i = indexOf(key);
+        while (slots_[i].used) {
+            if (slots_[i].first == key)
+                return slots_[i].second;
+            i = (i + 1) & mask_;
+        }
+        slots_[i].used = true;
+        slots_[i].first = key;
+        ++size_;
+        return slots_[i].second;
+    }
+
+    void
+    erase(iterator it)
+    {
+        eraseAt(static_cast<std::size_t>(it - slots_.data()));
+    }
+
+    std::size_t
+    erase(const K &key)
+    {
+        iterator it = find(key);
+        if (it == nullptr)
+            return 0;
+        erase(it);
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        for (Slot &slot : slots_) {
+            if (slot.used) {
+                slot.first = K{};
+                slot.second = V{};
+                slot.used = false;
+            }
+        }
+        size_ = 0;
+    }
+
+  private:
+    /** Fibonacci-fold the user hash so the masked low bits depend on
+     *  every input bit (the user hash may be a raw identity-ish
+     *  value, which linear probing would cluster on). */
+    std::size_t
+    indexOf(const K &key) const
+    {
+        std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+        h *= 0x9E3779B97F4A7C15ULL;
+        h ^= h >> 32;
+        return static_cast<std::size_t>(h) & mask_;
+    }
+
+    void
+    maybeGrow()
+    {
+        if (slots_.empty()) {
+            rehash(kMinSlots);
+            return;
+        }
+        // Grow at 3/4 load so probe sequences stay short.
+        if ((size_ + 1) * 4 >= slots_.size() * 3)
+            rehash(slots_.size() * 2);
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.clear();
+        slots_.resize(new_slots);
+        mask_ = new_slots - 1;
+        for (Slot &slot : old) {
+            if (!slot.used)
+                continue;
+            std::size_t i = indexOf(slot.first);
+            while (slots_[i].used)
+                i = (i + 1) & mask_;
+            slots_[i].used = true;
+            slots_[i].first = slot.first;
+            slots_[i].second = std::move(slot.second);
+        }
+    }
+
+    /** Backward-shift deletion: pull displaced successors into the
+     *  hole instead of leaving a tombstone, so probe chains never
+     *  grow with churn. A successor at j may move into the hole at i
+     *  iff its ideal slot lies at or before i in probe order, i.e.
+     *  its probe distance covers the hole. */
+    void
+    eraseAt(std::size_t i)
+    {
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (!slots_[j].used)
+                break;
+            const std::size_t ideal = indexOf(slots_[j].first);
+            if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
+                slots_[i].first = slots_[j].first;
+                slots_[i].second = std::move(slots_[j].second);
+                i = j;
+            }
+        }
+        slots_[i].first = K{};
+        slots_[i].second = V{};
+        slots_[i].used = false;
+        --size_;
+    }
+
+    static constexpr std::size_t kMinSlots = 64;
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace v3sim::util
+
+#endif // V3SIM_UTIL_FLAT_MAP_HH

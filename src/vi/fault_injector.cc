@@ -114,7 +114,7 @@ FaultInjector::track(sim::EventQueue::Handle handle)
 void
 FaultInjector::scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep)
 {
-    track(sim_.queue().scheduleAt(when, [this, &nic, ep] {
+    track(sim_.queue().scheduleAtCancelable(when, [this, &nic, ep] {
         if (ViEndpoint *endpoint = nic.endpoint(ep)) {
             breaks_.increment();
             nic.breakConnection(*endpoint);
@@ -125,7 +125,7 @@ FaultInjector::scheduleBreak(sim::Tick when, ViNic &nic, EndpointId ep)
 void
 FaultInjector::scheduleNodeCrash(sim::Tick when, NodeFaultTarget &node)
 {
-    track(sim_.queue().scheduleAt(when, [this, &node] {
+    track(sim_.queue().scheduleAtCancelable(when, [this, &node] {
         node_crashes_.increment();
         node.crash();
     }));
@@ -135,7 +135,7 @@ void
 FaultInjector::scheduleNodeRestart(sim::Tick when,
                                    NodeFaultTarget &node)
 {
-    track(sim_.queue().scheduleAt(when, [this, &node] {
+    track(sim_.queue().scheduleAtCancelable(when, [this, &node] {
         node_restarts_.increment();
         node.restart();
     }));

@@ -190,12 +190,12 @@ class FaultInjector
 
     // Prefix member must precede the metric references (init order).
     std::string metric_prefix_;
-    sim::Counter &dropped_;
-    sim::Counter &corrupted_;
-    sim::Counter &latent_errors_;
-    sim::Counter &breaks_;
-    sim::Counter &node_crashes_;
-    sim::Counter &node_restarts_;
+    sim::CounterHandle dropped_;
+    sim::CounterHandle corrupted_;
+    sim::CounterHandle latent_errors_;
+    sim::CounterHandle breaks_;
+    sim::CounterHandle node_crashes_;
+    sim::CounterHandle node_restarts_;
 };
 
 } // namespace v3sim::vi

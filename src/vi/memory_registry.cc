@@ -11,6 +11,10 @@ MemoryRegistry::MemoryRegistry(const ViCosts &costs,
 {
     assert(region_entries_ >= 1);
     table_.resize(costs_.max_table_entries);
+    free_bits_.assign((table_.size() + 63) / 64, ~uint64_t(0));
+    if (table_.size() % 64 != 0)
+        free_bits_.back() =
+            (uint64_t(1) << (table_.size() % 64)) - 1;
 }
 
 bool
@@ -19,9 +23,27 @@ MemoryRegistry::findFreeSlot(uint32_t *slot)
     if (live_entries_ >= table_.size())
         return false;
     const uint32_t n = static_cast<uint32_t>(table_.size());
-    for (uint32_t i = 0; i < n; ++i) {
-        const uint32_t candidate = (cursor_ + i) % n;
-        if (!table_[candidate].in_use) {
+    // First free slot at or after cursor_, wrapping — the same
+    // round-robin policy as a linear probe of the table, but over the
+    // free-slot bitmap. Probing order: the cursor word's high bits,
+    // the following words (wrapping), then the cursor word's low
+    // bits, which is exactly the slot order cursor_..n-1, 0..cursor_-1.
+    const uint32_t words = static_cast<uint32_t>(free_bits_.size());
+    const uint32_t start_word = cursor_ / 64;
+    const uint32_t start_bit = cursor_ % 64;
+    for (uint32_t i = 0; i <= words; ++i) {
+        const uint32_t w = (start_word + i) % words;
+        uint64_t bits = free_bits_[w];
+        if (i == 0)
+            bits &= ~uint64_t(0) << start_bit;
+        else if (i == words)
+            bits &= start_bit != 0
+                        ? (uint64_t(1) << start_bit) - 1
+                        : 0;
+        if (bits != 0) {
+            const uint32_t candidate =
+                w * 64 +
+                static_cast<uint32_t>(__builtin_ctzll(bits));
             *slot = candidate;
             cursor_ = (candidate + 1) % n;
             return true;
@@ -46,6 +68,7 @@ MemoryRegistry::registerMemory(sim::Addr addr, uint64_t len,
     }
 
     Entry &entry = table_[slot];
+    markSlotUsed(slot);
     entry.in_use = true;
     entry.generation = next_generation_++;
     entry.addr = addr;
@@ -90,6 +113,7 @@ MemoryRegistry::deregister(MemHandle handle)
     registered_bytes_ -= entry.len;
     --live_entries_;
     entry = Entry{};
+    markSlotFree(handle.slot);
     deregistrations_.increment();
     return cost;
 }
@@ -122,6 +146,7 @@ MemoryRegistry::deregisterRegion(uint32_t region)
         registered_bytes_ -= entry.len;
         --live_entries_;
         entry = Entry{};
+        markSlotFree(static_cast<uint32_t>(slot));
         ++result.entries_freed;
     }
     region_deregs_.increment();

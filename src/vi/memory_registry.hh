@@ -143,6 +143,18 @@ class MemoryRegistry
     /** Advances the cursor to a free slot; false if table full. */
     bool findFreeSlot(uint32_t *slot);
 
+    void
+    markSlotUsed(uint32_t slot)
+    {
+        free_bits_[slot / 64] &= ~(uint64_t(1) << (slot % 64));
+    }
+
+    void
+    markSlotFree(uint32_t slot)
+    {
+        free_bits_[slot / 64] |= uint64_t(1) << (slot % 64);
+    }
+
     /** Removes one (addr, slot) pair from the address index. */
     void eraseByAddr(sim::Addr addr, uint32_t slot);
 
@@ -150,6 +162,11 @@ class MemoryRegistry
     ViCosts costs_;
     uint32_t region_entries_;
     std::vector<Entry> table_;
+    /** One bit per slot, set = free. The allocation probe walks this
+     *  8KB-per-64Ki-entries bitmap instead of sweeping the cold
+     *  multi-MB entry table; selection order is identical to the
+     *  plain linear scan. */
+    std::vector<uint64_t> free_bits_;
     uint32_t cursor_ = 0;
     uint32_t live_entries_ = 0;
     uint64_t registered_bytes_ = 0;

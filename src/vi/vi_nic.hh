@@ -340,11 +340,11 @@ class ViNic
     /// the metric references so it is initialised first.
     std::string metric_prefix_;
 
-    sim::Counter &packets_sent_;
-    sim::Counter &packets_received_;
-    sim::Counter &recv_overruns_;
-    sim::Counter &protection_errors_;
-    sim::Counter &packets_corrupted_;
+    sim::CounterHandle packets_sent_;
+    sim::CounterHandle packets_received_;
+    sim::CounterHandle recv_overruns_;
+    sim::CounterHandle protection_errors_;
+    sim::CounterHandle packets_corrupted_;
 };
 
 } // namespace v3sim::vi

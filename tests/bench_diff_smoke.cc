@@ -1,0 +1,69 @@
+/**
+ * @file
+ * End-to-end smoke for tools/bench_diff: runs selftime --quick twice
+ * to produce two real BENCH_selftime.json artifacts, then drives
+ * bench_diff over them — once plainly (must succeed and match every
+ * profile row) and once with an absurd --min-ratio (must fail), so
+ * both the comparison and the regression-gate exit path are
+ * exercised against the real artifact schema.
+ *
+ * Registered with ctest as `bench_diff_smoke`; CMake passes the
+ * selftime and bench_diff binaries plus two scratch artifact paths.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace
+{
+
+int
+fail(const std::string &why)
+{
+    std::fprintf(stderr, "bench_diff_smoke: %s\n", why.c_str());
+    return 1;
+}
+
+int
+runShown(const std::string &command)
+{
+    std::printf("bench_diff_smoke: %s\n", command.c_str());
+    std::fflush(stdout);
+    return std::system(command.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 5) {
+        return fail("usage: bench_diff_smoke <selftime-binary> "
+                    "<bench_diff-binary> <out_a.json> <out_b.json>");
+    }
+    const std::string selftime = argv[1];
+    const std::string bench_diff = argv[2];
+    const std::string path_a = argv[3];
+    const std::string path_b = argv[4];
+
+    for (const std::string &path : {path_a, path_b}) {
+        std::remove(path.c_str());
+        if (runShown("\"" + selftime + "\" --quick --json \"" +
+                     path + "\"") != 0)
+            return fail("selftime --quick run failed");
+    }
+
+    if (runShown("\"" + bench_diff + "\" \"" + path_a + "\" \"" +
+                 path_b + "\"") != 0)
+        return fail("bench_diff rejected two valid artifacts");
+
+    // Same-machine back-to-back runs cannot be 1000x apart; the
+    // regression gate must trip and exit nonzero.
+    if (runShown("\"" + bench_diff + "\" \"" + path_a + "\" \"" +
+                 path_b + "\" --min-ratio 1000") == 0)
+        return fail("--min-ratio 1000 did not trip");
+
+    std::printf("bench_diff_smoke: compare and gate paths OK\n");
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -117,7 +118,7 @@ TEST(EventQueue, CancelPreventsFiring)
 {
     EventQueue q;
     bool fired = false;
-    auto handle = q.schedule(usecs(10), [&] { fired = true; });
+    auto handle = q.scheduleCancelable(usecs(10), [&] { fired = true; });
     EXPECT_TRUE(handle.pending());
     handle.cancel();
     EXPECT_FALSE(handle.pending());
@@ -129,7 +130,7 @@ TEST(EventQueue, CancelAfterFireIsNoop)
 {
     EventQueue q;
     bool fired = false;
-    auto handle = q.schedule(usecs(10), [&] { fired = true; });
+    auto handle = q.scheduleCancelable(usecs(10), [&] { fired = true; });
     q.run();
     EXPECT_TRUE(fired);
     EXPECT_FALSE(handle.pending());
@@ -158,11 +159,164 @@ TEST(EventQueue, RunWithMaxEventsStopsEarly)
 TEST(EventQueue, FiredCountSkipsCancelled)
 {
     EventQueue q;
-    auto h1 = q.schedule(usecs(1), [] {});
+    auto h1 = q.scheduleCancelable(usecs(1), [] {});
     q.schedule(usecs(2), [] {});
     h1.cancel();
     q.run();
     EXPECT_EQ(q.firedCount(), 1u);
+}
+
+// --- Cancellation handles (generation-counted slots) -----------------
+
+TEST(EventQueue, HandleDestructionDoesNotCancel)
+{
+    EventQueue q;
+    bool fired = false;
+    {
+        auto h = q.scheduleCancelable(usecs(1), [&] { fired = true; });
+        EXPECT_TRUE(h.pending());
+    } // Handle destroyed: the event must stay scheduled.
+    q.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, HandleCopiesShareTheEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    auto h = q.scheduleCancelable(usecs(1), [&] { fired = true; });
+    auto copy = h;
+    h.cancel();
+    EXPECT_FALSE(copy.pending());
+    q.run();
+    EXPECT_FALSE(fired);
+    copy.cancel(); // Stale after the pop: harmless no-op.
+}
+
+TEST(EventQueue, PendingTracksFireAndCancel)
+{
+    EventQueue q;
+    auto fires = q.scheduleCancelable(usecs(1), [] {});
+    auto cancelled = q.scheduleCancelable(usecs(2), [] {});
+    EXPECT_TRUE(fires.pending());
+    EXPECT_TRUE(cancelled.pending());
+    cancelled.cancel();
+    EXPECT_FALSE(cancelled.pending());
+    q.run();
+    EXPECT_FALSE(fires.pending());
+    EXPECT_FALSE(cancelled.pending());
+}
+
+TEST(EventQueue, StaleHandleIsInertAfterSlotReuse)
+{
+    EventQueue q;
+    auto h1 = q.scheduleCancelable(usecs(1), [] {});
+    q.run(); // Frees the slot and bumps its generation.
+    bool fired = false;
+    auto h2 = q.scheduleCancelable(usecs(1), [&] { fired = true; });
+    ASSERT_EQ(q.controlSlotCount(), 1u); // Same slot, new generation.
+    EXPECT_FALSE(h1.pending());
+    h1.cancel(); // Must not cancel the slot's new occupant.
+    EXPECT_TRUE(h2.pending());
+    q.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, FastPathAllocatesNoControlSlots)
+{
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(usecs(i), [] {});
+    q.scheduleAt(msecs(2), [] {});
+    q.scheduleFinal([] {});
+    q.run();
+    // The acceptance guarantee: fire-and-forget scheduling never
+    // touches a control slot.
+    EXPECT_EQ(q.controlSlotCount(), 0u);
+
+    // Cancelable events recycle one slot rather than growing the pool.
+    for (int i = 0; i < 100; ++i) {
+        auto h = q.scheduleCancelable(usecs(1), [] {});
+        EXPECT_TRUE(h.pending());
+        q.run();
+    }
+    EXPECT_EQ(q.controlSlotCount(), 1u);
+}
+
+// --- Ladder regions: bucket window and overflow migration ------------
+
+namespace
+{
+
+/** Absolute tick width of the bucket window from a fresh queue:
+ *  8192 buckets x 8192 ns (see EventQueue's geometry constants). */
+constexpr Tick kWindow = Tick(8192) * 8192;
+
+} // namespace
+
+TEST(EventQueue, OverflowStartsAtTheWindowBoundary)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.scheduleAt(kWindow - 1, [&] { fired.push_back(q.now()); });
+    EXPECT_EQ(q.overflowCount(), 0u); // Last in-window tick.
+    q.scheduleAt(kWindow, [&] { fired.push_back(q.now()); });
+    EXPECT_EQ(q.overflowCount(), 1u); // First out-of-window tick.
+    q.scheduleAt(kWindow + 1, [&] { fired.push_back(q.now()); });
+    EXPECT_EQ(q.overflowCount(), 2u);
+    q.scheduleAt(1, [&] { fired.push_back(q.now()); });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{1, kWindow - 1, kWindow,
+                                        kWindow + 1}));
+    EXPECT_EQ(q.overflowCount(), 0u);
+}
+
+TEST(EventQueue, OverflowIsNotOvertakenByTheAdvancingWindow)
+{
+    // Regression: an overflow event whose bucket the advancing window
+    // catches up with must still fire before any later bucket event.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const Tick far = kWindow;           // Just past the initial window.
+    const Tick later = kWindow + msecs(1); // In-window once it grows.
+    q.scheduleAt(far, [&] { fired.push_back(q.now()); });
+    ASSERT_EQ(q.overflowCount(), 1u);
+    // Fire an event near the window's end so melting it slides the
+    // window past `far` and `later`.
+    q.scheduleAt(kWindow - 1, [&] { fired.push_back(q.now()); });
+    q.runUntil(kWindow - 1);
+    // runUntil's stop-check peeked at the next event, which already
+    // migrated `far` out of the overflow heap (via the bucket ring)
+    // into the sorted bottom region.
+    EXPECT_EQ(q.overflowCount(), 0u);
+    q.scheduleAt(later, [&] { fired.push_back(q.now()); });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{kWindow - 1, far, later}));
+}
+
+TEST(EventQueue, ManyWindowRebasesKeepGlobalOrder)
+{
+    // Pseudorandom times across ~10 windows force repeated
+    // bucket-ring wraps, overflow migrations and rebases; the firing
+    // sequence must still be (when, seq)-sorted.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> fired;
+    uint64_t x = 12345;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const Tick when = static_cast<Tick>(x % (10 * kWindow));
+        q.scheduleAt(when, [&fired, &q, i] {
+            fired.emplace_back(q.now(), i);
+        });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), 2000u);
+    for (size_t i = 1; i < fired.size(); ++i) {
+        ASSERT_LE(fired[i - 1].first, fired[i].first);
+        if (fired[i - 1].first == fired[i].first) {
+            ASSERT_LT(fired[i - 1].second, fired[i].second);
+        }
+    }
 }
 
 // --- Tie-shuffle mode (DESIGN.md §8) ---------------------------------
@@ -191,6 +345,25 @@ TEST(EventQueueTieShuffle, SameSeedSameOrder)
     const auto a = shuffledOrder(42, 32);
     const auto b = shuffledOrder(42, 32);
     EXPECT_EQ(a, b);
+}
+
+TEST(EventQueueTieShuffle, RankIsIndependentOfStorageRegion)
+{
+    // The shuffled rank is a pure function of (seed, seq): events
+    // that migrate through the overflow heap (far-future tick) must
+    // fire in the same permutation as bucket-resident ones.
+    auto orderAt = [](Tick when, uint64_t seed) {
+        EventQueue q;
+        q.setTieShuffle(seed);
+        std::vector<int> order;
+        for (int i = 0; i < 16; ++i)
+            q.scheduleAt(when, [&order, i] { order.push_back(i); });
+        return (q.run(), order);
+    };
+    const auto near = orderAt(usecs(5), 99);     // Bucket region.
+    const auto far = orderAt(msecs(500), 99);    // Overflow region.
+    EXPECT_EQ(near, far);
+    EXPECT_NE(near, orderAt(usecs(5), 100)); // ... and is a shuffle.
 }
 
 TEST(EventQueueTieShuffle, DifferentSeedsPermute)

@@ -96,6 +96,20 @@ TEST(SimlintFixtures, MetricName)
     EXPECT_EQ(got, want);
 }
 
+TEST(SimlintFixtures, MetricHandle)
+{
+    const auto got =
+        lineRules(lintFile(fixture("bad_metric_lookup.cc")));
+    // Lines 22/23: single-line chains; line 24: a chain wrapped
+    // across lines reports at the lookup call. The bare lookup
+    // (26), handle registration (28) and the annotated line (31)
+    // must not fire.
+    const LineRules want = {{22, "metric-handle"},
+                            {23, "metric-handle"},
+                            {24, "metric-handle"}};
+    EXPECT_EQ(got, want);
+}
+
 TEST(SimlintFixtures, ReasonlessAnnotationIsAFinding)
 {
     const auto got =
@@ -168,6 +182,26 @@ TEST(Simlint, MultiLineDeclarationIsTracked)
     ASSERT_EQ(findings.size(), 1u);
     EXPECT_EQ(findings[0].rule, "unordered-iter");
     EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(Simlint, MetricHandleSeesThroughArgumentParens)
+{
+    // Nested parens in the lookup argument must not derail the
+    // chain matcher.
+    const auto findings = lintSource(
+        "x.cc",
+        "void f(R &m) { m.counter(name(0, \"a.b\")).increment(); }\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "metric-handle");
+}
+
+TEST(Simlint, MetricHandleIgnoresHandleRecording)
+{
+    // Recording through an already-resolved handle is the sanctioned
+    // idiom and carries no lookup call to flag.
+    EXPECT_TRUE(
+        lintSource("x.cc", "void f(H &ios) { ios.increment(); }\n")
+            .empty());
 }
 
 TEST(Simlint, FormatFindingIsClickable)

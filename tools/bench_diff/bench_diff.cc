@@ -1,0 +1,185 @@
+/**
+ * @file
+ * bench_diff: compares two BENCH_*.json artifacts row by row and
+ * reports the per-row delta of a chosen metric (default:
+ * events_per_sec, the selftime headline number).
+ *
+ * Usage:
+ *   bench_diff BEFORE.json AFTER.json
+ *       [--key profile] [--metric events_per_sec] [--min-ratio R]
+ *
+ * Rows are matched on the `--key` column. Exit status is 0 on a
+ * clean comparison; 1 on I/O or schema errors, or — when
+ * `--min-ratio` is given — when any matched row's after/before ratio
+ * falls below R. CI and reviews use this to turn "the simulator got
+ * slower" from folklore into a failing check.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace
+{
+
+using v3sim::util::JsonValue;
+
+std::optional<JsonValue>
+loadArtifact(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = JsonValue::parse(buffer.str());
+    if (!parsed || !parsed->isObject()) {
+        std::fprintf(stderr,
+                     "bench_diff: %s is not a JSON object\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+const std::vector<JsonValue> *
+rowsOf(const JsonValue &doc, const std::string &path)
+{
+    const JsonValue *rows = doc.find("rows");
+    if (rows == nullptr || !rows->isArray()) {
+        std::fprintf(stderr, "bench_diff: %s has no rows array\n",
+                     path.c_str());
+        return nullptr;
+    }
+    return &rows->array;
+}
+
+std::string
+rowKey(const JsonValue &row, const std::string &key)
+{
+    const JsonValue *v = row.find(key);
+    if (v == nullptr)
+        return "";
+    if (v->isString())
+        return v->string;
+    if (v->isNumber()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", v->number);
+        return buf;
+    }
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string key = "profile";
+    std::string metric = "events_per_sec";
+    double min_ratio = 0.0;
+    bool have_min_ratio = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "bench_diff: %s needs a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--key") {
+            key = next();
+        } else if (arg == "--metric") {
+            metric = next();
+        } else if (arg == "--min-ratio") {
+            min_ratio = std::atof(next());
+            have_min_ratio = true;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(
+            stderr,
+            "usage: bench_diff BEFORE.json AFTER.json "
+            "[--key profile] [--metric events_per_sec] "
+            "[--min-ratio R]\n");
+        return 1;
+    }
+
+    auto before = loadArtifact(files[0]);
+    auto after = loadArtifact(files[1]);
+    if (!before || !after)
+        return 1;
+    const auto *before_rows = rowsOf(*before, files[0]);
+    const auto *after_rows = rowsOf(*after, files[1]);
+    if (before_rows == nullptr || after_rows == nullptr)
+        return 1;
+
+    std::printf("%-16s %16s %16s %8s\n", key.c_str(),
+                ("before " + metric).c_str(),
+                ("after " + metric).c_str(), "ratio");
+    bool regression = false;
+    bool matched_any = false;
+    for (const JsonValue &b : *before_rows) {
+        const std::string name = rowKey(b, key);
+        if (name.empty())
+            continue;
+        const JsonValue *a_row = nullptr;
+        for (const JsonValue &a : *after_rows) {
+            if (rowKey(a, key) == name) {
+                a_row = &a;
+                break;
+            }
+        }
+        if (a_row == nullptr) {
+            std::printf("%-16s %16s\n", name.c_str(),
+                        "(missing after)");
+            continue;
+        }
+        const JsonValue *bv = b.find(metric);
+        const JsonValue *av = a_row->find(metric);
+        if (bv == nullptr || !bv->isNumber() || av == nullptr ||
+            !av->isNumber()) {
+            std::printf("%-16s %16s\n", name.c_str(),
+                        "(metric missing)");
+            continue;
+        }
+        matched_any = true;
+        const double ratio =
+            bv->number != 0 ? av->number / bv->number : 0.0;
+        std::printf("%-16s %16.3f %16.3f %7.3fx\n", name.c_str(),
+                    bv->number, av->number, ratio);
+        if (have_min_ratio && ratio < min_ratio)
+            regression = true;
+    }
+    if (!matched_any) {
+        std::fprintf(stderr,
+                     "bench_diff: no comparable rows "
+                     "(key=%s metric=%s)\n",
+                     key.c_str(), metric.c_str());
+        return 1;
+    }
+    if (regression) {
+        std::fprintf(stderr,
+                     "bench_diff: ratio below --min-ratio %.3f\n",
+                     min_ratio);
+        return 1;
+    }
+    return 0;
+}

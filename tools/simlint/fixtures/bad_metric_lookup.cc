@@ -1,0 +1,32 @@
+// Fixture: string-keyed metric lookup chained straight into a
+// recording call; hot paths must go through handles resolved at
+// registration (the metric-handle rule).
+struct Registry
+{
+    struct Counter
+    {
+        void increment(unsigned by = 1);
+    };
+    struct Sampler
+    {
+        void add(double sample);
+    };
+    Counter &counter(const char *path);
+    Sampler &sampler(const char *path);
+    const Counter *findCounter(const char *path);
+};
+
+void
+perIoPath(Registry &metrics, double latency)
+{
+    metrics.counter("client.ios").increment();
+    metrics.sampler("client.latency_ns").add(latency);
+    metrics.counter("client.retries")
+        .increment(2);
+    metrics.findCounter("client.ios");
+    // Registration alone must NOT trigger:
+    Registry::Counter &ok = metrics.counter("client.ok");
+    (void)ok;
+    // simlint:allow(metric-handle: cold path, measured)
+    metrics.counter("client.allowed").increment();
+}

@@ -761,6 +761,98 @@ checkMetricNames(const std::string &path, const Stripped &s,
     }
 }
 
+/**
+ * Flags the lookup-then-record idiom: a registry/string lookup call
+ * chained directly into a recording method, e.g.
+ * `metrics().counter("x").increment()`. That re-pays the string-map
+ * lookup on every event; per-I/O code must resolve a
+ * CounterHandle/SamplerHandle once at registration and record
+ * through it (sim/metrics.hh). Registration alone — assigning the
+ * returned handle — is fine and not matched.
+ */
+void
+checkMetricHandle(const std::string &path, const Stripped &s,
+                  std::vector<Finding> &out)
+{
+    static const std::vector<std::string> kLookups = {
+        "counter",       "sampler",
+        "histogram",     "timeWeighted",
+        "findCounter",   "findSampler",
+        "findHistogram", "findTimeWeighted",
+    };
+    static const std::vector<std::string> kRecords = {
+        "increment",
+        "add",
+        "set",
+        "adjust",
+    };
+
+    // Chains wrap across lines, so scan the joined text.
+    std::string joined;
+    std::vector<int> line_of; // joined offset -> 1-based line
+    for (size_t li = 0; li < s.code.size(); ++li) {
+        for (char c : s.code[li]) {
+            joined.push_back(c);
+            line_of.push_back(static_cast<int>(li) + 1);
+        }
+        joined.push_back('\n');
+        line_of.push_back(static_cast<int>(li) + 1);
+    }
+    auto skipSpace = [&](size_t i) {
+        while (i < joined.size() &&
+               (joined[i] == ' ' || joined[i] == '\n' ||
+                joined[i] == '\t'))
+            ++i;
+        return i;
+    };
+
+    for (const std::string &call : kLookups) {
+        size_t pos = 0;
+        size_t at = 0;
+        while (containsWord(joined, call, at, pos)) {
+            pos = at + call.size();
+            // Member call only: `x.counter(` / `x->counter(`.
+            if (at == 0 || (joined[at - 1] != '.' &&
+                            joined[at - 1] != '>'))
+                continue;
+            size_t i = skipSpace(pos);
+            if (i >= joined.size() || joined[i] != '(')
+                continue;
+            int depth = 0;
+            for (; i < joined.size(); ++i) {
+                if (joined[i] == '(')
+                    ++depth;
+                else if (joined[i] == ')' && --depth == 0)
+                    break;
+            }
+            if (i >= joined.size())
+                continue;
+            i = skipSpace(i + 1);
+            if (i >= joined.size() || joined[i] != '.')
+                continue;
+            i = skipSpace(i + 1);
+            if (i >= joined.size() || !isIdentChar(joined[i]))
+                continue;
+            std::string member = nextIdent(joined, i);
+            if (std::find(kRecords.begin(), kRecords.end(),
+                          member) == kRecords.end())
+                continue;
+            const int line_no = line_of[at];
+            if (allowed(s, "metric-handle", line_no))
+                continue;
+            out.push_back(
+                {path, line_no, "metric-handle",
+                 "metric looked up and recorded in one expression "
+                 "(`." +
+                     call + "(...)." + member +
+                     "(...)`): the string lookup runs per event; "
+                     "resolve a handle at registration "
+                     "(sim/metrics.hh) or annotate "
+                     "simlint:allow(metric-handle: <reason>)"});
+        }
+    }
+}
+
 } // namespace
 
 namespace
@@ -776,6 +868,7 @@ lint(const std::string &path, const std::string &content,
     checkRawRandom(path, stripped, findings);
     checkIteration(path, stripped, header_tracked, findings);
     checkMetricNames(path, stripped, findings);
+    checkMetricHandle(path, stripped, findings);
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.line != b.line)
