@@ -24,9 +24,11 @@ OltpEngine::OltpEngine(osmodel::Node &node, dsa::BlockDevice &device,
     // One page buffer per worker, from AWE so buffers are pinned
     // physical memory the way SQL Server's cache is (section 3.1).
     worker_buffers_.reserve(static_cast<size_t>(config_.workers));
+    worker_workloads_.reserve(static_cast<size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
         worker_buffers_.push_back(
             node_.awe().allocate(workload_.config().page_size));
+        worker_workloads_.push_back(workload_.fork());
     }
     const char *latch_names[] = {"db.bufmgr", "db.lockmgr", "db.log",
                                  "db.sched"};
@@ -52,25 +54,34 @@ OltpEngine::worker(int id)
     ++active_workers_;
     const sim::Addr buffer =
         worker_buffers_[static_cast<size_t>(id)];
-    const uint64_t page = workload_.config().page_size;
+    tpcc::Workload &workload =
+        worker_workloads_[static_cast<size_t>(id)];
+    const uint64_t page = workload.config().page_size;
+    // Per-worker latch rotation: a shared cursor would hand out
+    // latches in same-tick resume order (a tie-shuffle race).
+    size_t next_latch = static_cast<size_t>(id) % latches_.size();
+    // CPU-pool arbitration key: same-tick contending workers are
+    // admitted by id, not by resume order (DESIGN.md §8.3).
+    const uint64_t wkey = static_cast<uint64_t>(id);
 
     while (running_) {
         const sim::Tick start = node_.sim().now();
-        const tpcc::TxnType type = workload_.sampleType();
-        const uint32_t io_count = workload_.sampleIoCount(type);
-        const sim::Tick cpu_demand = workload_.cpuDemand(type);
+        const tpcc::TxnType type = workload.sampleType();
+        const uint32_t io_count = workload.sampleIoCount(type);
+        const sim::Tick cpu_demand = workload.cpuDemand(type);
         // Database CPU work is spread across the I/O interleave.
         const sim::Tick slice =
             cpu_demand / static_cast<sim::Tick>(io_count + 1);
 
         for (uint32_t i = 0; i < io_count; ++i) {
             {
-                CpuLease lease = co_await node_.cpus().acquire();
+                CpuLease lease = co_await node_.cpus().acquire(
+                    osmodel::CpuPool::kNormalPriority, wkey);
                 co_await lease.run(slice, CpuCat::Sql);
                 node_.cpus().release();
             }
-            const uint64_t offset = workload_.sampleOffset();
-            if (workload_.sampleIsRead())
+            const uint64_t offset = workload.sampleOffset();
+            if (workload.sampleIsRead())
                 co_await device_.read(offset, page, buffer);
             else
                 co_await device_.write(offset, page, buffer);
@@ -78,16 +89,17 @@ OltpEngine::worker(int id)
 
             // SQL-Server-induced per-I/O work (see OltpConfig).
             {
-                CpuLease lease = co_await node_.cpus().acquire();
+                CpuLease lease = co_await node_.cpus().acquire(
+                    osmodel::CpuPool::kNormalPriority, wkey);
                 co_await lease.run(config_.io_kernel_overhead,
                                    CpuCat::Kernel);
                 co_await lease.run(config_.io_other_overhead,
                                    CpuCat::Other);
                 for (int p = 0; p < config_.io_latch_pairs; ++p) {
                     osmodel::SimLock &latch =
-                        *latches_[next_latch_];
-                    next_latch_ =
-                        (next_latch_ + 1) % latches_.size();
+                        *latches_[next_latch];
+                    next_latch =
+                        (next_latch + 1) % latches_.size();
                     co_await latch.syncPair(lease, CpuCat::Lock,
                                             config_.latch_hold);
                 }
@@ -102,7 +114,8 @@ OltpEngine::worker(int id)
             }
         }
         {
-            CpuLease lease = co_await node_.cpus().acquire();
+            CpuLease lease = co_await node_.cpus().acquire(
+                osmodel::CpuPool::kNormalPriority, wkey);
             co_await lease.run(slice, CpuCat::Sql);
             node_.cpus().release();
         }

@@ -151,8 +151,10 @@ class OltpEngine
     /** Database-internal latches (buffer manager, lock manager,
      *  log manager, scheduler). */
     std::vector<std::unique_ptr<osmodel::SimLock>> latches_;
-    size_t next_latch_ = 0;
     std::vector<sim::Addr> worker_buffers_;
+    /** One forked sampler per worker: random-draw assignment must
+     *  not depend on same-tick worker resume order (DESIGN.md §8). */
+    std::vector<tpcc::Workload> worker_workloads_;
     uint64_t log_offset_ = 0;
     uint64_t commits_since_flush_ = 0;
 

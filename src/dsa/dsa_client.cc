@@ -259,9 +259,13 @@ DsaClient::establish()
         nic_.postRecv(*ep_, desc, resp_handle_);
     }
     recv_cq_->setInterruptSink([this] {
-        node_.interrupts().raise([this](CpuLease lease) {
-            return drainRecvCq(lease, /*interrupt_context=*/true);
-        });
+        // Interrupts from this CQ are ordered against same-tick
+        // interrupts from other devices by NIC port (content).
+        node_.interrupts().raise(
+            [this](CpuLease lease) {
+                return drainRecvCq(lease, /*interrupt_context=*/true);
+            },
+            nic_.port());
     });
     recv_cq_->arm();
 
@@ -269,7 +273,8 @@ DsaClient::establish()
     sim::Completion<bool> hello_done;
     hello_waiter_ = &hello_done;
     {
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, nic_.port());
         co_await lease.run(config_.costs.request_build, CpuCat::Dsa);
         auto hello = std::make_shared<RequestMsg>();
         hello->op = DsaOp::Hello;
@@ -406,7 +411,7 @@ DsaClient::hint(HintKind kind, uint64_t offset, uint64_t len)
     if (dead_ || !ready_)
         co_return false;
 
-    co_await credits_->acquire();
+    co_await credits_->acquire(offset);
 
     PendingIo io;
     io.id = next_id_++;
@@ -432,7 +437,8 @@ DsaClient::hint(HintKind kind, uint64_t offset, uint64_t len)
         node_.memory().writeU64(io.msg.flag_addr, 0);
 
     {
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, io.msg.offset);
         co_await lease.run(config_.costs.request_build +
                                config_.costs.cdsa_issue,
                            CpuCat::Dsa);
@@ -459,11 +465,13 @@ DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
     if (dead_)
         co_return false;
 
-    // Flow control gates first, holding no CPU.
-    co_await credits_->acquire();
+    // Flow control gates first, holding no CPU; keyed by the I/O
+    // buffer so saturated-credit grants stay content-ordered
+    // (DESIGN.md §8.3).
+    co_await credits_->acquire(buffer);
     uint32_t staging_slot = UINT32_MAX;
     if (is_write) {
-        co_await staging_sem_->acquire();
+        co_await staging_sem_->acquire(buffer);
         staging_slot = free_staging_.back();
         free_staging_.pop_back();
     }
@@ -501,7 +509,10 @@ DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
         node_.memory().writeU64(io.msg.flag_addr, 0);
 
     {
-        CpuLease lease = co_await cpus().acquire();
+        // Arbitration key: the I/O buffer — unique per concurrent
+        // submitter, pure content (DESIGN.md §8.3).
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, io.buffer);
         co_await issuePath(lease, io);
         cpus().release();
     }
@@ -612,6 +623,11 @@ DsaClient::postRequest(PendingIo &io)
     if (!ep_ || ep_->state() != vi::EndpointState::Connected)
         return; // reconnection will replay
 
+    // NIC arbitration key for everything this I/O transmits: the
+    // client buffer (content; unique per concurrent submitter).
+    const uint64_t tx_key = io.buffer != sim::kNullAddr
+                                ? io.buffer
+                                : io.msg.offset;
     if (io.msg.op == DsaOp::Write && io.msg.len > 0) {
         vi::WorkDescriptor data;
         data.local_addr = io.buffer;
@@ -619,6 +635,7 @@ DsaClient::postRequest(PendingIo &io)
         data.remote_addr =
             staging_base_ + static_cast<uint64_t>(io.msg.staging_slot) *
                                 staging_slot_bytes_;
+        data.order_key = tx_key;
         nic_.postRdmaWrite(*ep_, data, io.handle);
     }
 
@@ -628,6 +645,7 @@ DsaClient::postRequest(PendingIo &io)
     desc.local_addr = msg_buf_;
     desc.len = kRequestWireBytes;
     desc.control = std::move(control);
+    desc.order_key = tx_key;
     nic_.postSend(*ep_, desc, msg_handle_);
 }
 
@@ -664,7 +682,9 @@ DsaClient::backupPoller()
             break;
         if (recv_cq_->empty())
             continue;
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority,
+            (uint64_t{1} << 40) | nic_.port());
         co_await drainRecvCq(lease, /*interrupt_context=*/false);
         cpus().release();
     }
@@ -681,7 +701,18 @@ DsaClient::drainRecvCq(CpuLease lease, bool interrupt_context)
         co_return;
     }
     draining_ = true;
-    while (auto completion = recv_cq_->poll()) {
+    for (;;) {
+        auto completion = recv_cq_->poll();
+        if (!completion) {
+            // The "CQ is empty" decision is re-taken from the tick's
+            // final band: whether a completion lands just before or
+            // just after the poll above is a tie-shuffled race, and
+            // the interrupt count must not depend on it (§8.3).
+            co_await node_.sim().queue().finalBand();
+            completion = recv_cq_->poll();
+            if (!completion)
+                break;
+        }
         co_await lease.run(nic_.costs().cq_poll, CpuCat::Vi);
         if (completion->status != vi::WorkStatus::Ok)
             continue; // flushed by teardown; recvs reposted on
@@ -701,9 +732,9 @@ DsaClient::drainRecvCq(CpuLease lease, bool interrupt_context)
                                             ack.request_credits);
                 if (!credits_) {
                     credits_ = std::make_unique<sim::Semaphore>(
-                        granted_credits_);
+                        node_.sim().queue(), granted_credits_);
                     staging_sem_ = std::make_unique<sim::Semaphore>(
-                        ack.staging_slots);
+                        node_.sim().queue(), ack.staging_slots);
                     for (uint32_t i = 0; i < ack.staging_slots; ++i)
                         free_staging_.push_back(
                             ack.staging_slots - 1 - i);
@@ -910,7 +941,8 @@ DsaClient::awaitCompletion(PendingIo &io)
                 ? waited / config_.poll_interval + 1
                 : 1,
             64);
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, io.buffer);
         co_await lease.run(polls * config_.costs.poll_check,
                            CpuCat::Dsa);
         cpus().release();
@@ -923,7 +955,8 @@ DsaClient::awaitCompletion(PendingIo &io)
                 ? config_.poll_timeout / config_.poll_interval
                 : 0,
             64);
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, io.buffer);
         co_await lease.run(polls * config_.costs.poll_check,
                            CpuCat::Dsa);
         co_await lease.run(node_.costs().interrupt, CpuCat::Kernel);
@@ -935,7 +968,8 @@ DsaClient::awaitCompletion(PendingIo &io)
 
     // Completion-side path in the application's context: no kernel.
     {
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, io.buffer);
         // Read-payload digest verification (the compare itself runs
         // in the flag observer; its time is charged here, on the
         // application path, identically for phantom and real runs).
@@ -993,7 +1027,8 @@ DsaClient::retransmit(uint64_t io_id)
     retransmits_.increment();
     io->msg.retransmit = true;
 
-    CpuLease lease = co_await cpus().acquire();
+    CpuLease lease = co_await cpus().acquire(
+        osmodel::CpuPool::kNormalPriority, io->buffer);
     co_await lease.run(config_.costs.request_build, CpuCat::Dsa);
     co_await lease.run(nic_.costs().doorbell, CpuCat::Vi);
     postRequest(*io);
@@ -1058,7 +1093,8 @@ DsaClient::reconnect()
     for (PendingIo *io : replay) {
         io->msg.retransmit = true;
         io->retx_timer.cancel();
-        CpuLease lease = co_await cpus().acquire();
+        CpuLease lease = co_await cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, io->buffer);
         co_await lease.run(config_.costs.request_build, CpuCat::Dsa);
         co_await lease.run(nic_.costs().doorbell, CpuCat::Vi);
         postRequest(*io);

@@ -1,0 +1,234 @@
+#include "iscsi/initiator.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace v3sim::iscsi
+{
+
+using osmodel::CpuCat;
+
+Initiator::Initiator(osmodel::Node &host, net::Fabric &fabric,
+                     InitiatorConfig config)
+    : host_(host), config_(config),
+      metric_prefix_(
+          host.sim().metrics().uniquePrefix("iscsi.init")),
+      tcp_(host.sim().queue(), fabric, host.sim().metrics(),
+           metric_prefix_ + ".tcp", host.name() + ".iscsi",
+           config_.tcp),
+      driver_(host, tcp_, host.sim().metrics(), metric_prefix_,
+              [this](std::shared_ptr<Pdu> pdu, bool tainted,
+                     osmodel::CpuLease &lease) {
+                  return onPdu(std::move(pdu), tainted, lease);
+              }),
+      slots_(host.sim().queue(), config_.max_outstanding),
+      ios_(host.sim().metrics().counter(metric_prefix_ + ".ios")),
+      digest_retries_(host.sim().metrics().counter(
+          metric_prefix_ + ".digest_retries")),
+      errors_(host.sim().metrics().counter(metric_prefix_ +
+                                           ".errors")),
+      latency_(host.sim().metrics().sampler(metric_prefix_ +
+                                            ".latency_ns")),
+      latency_hist_(host.sim().metrics().histogram(
+          metric_prefix_ + ".latency_hist_ns"))
+{}
+
+sim::Task<bool>
+Initiator::connect(net::PortId target_port)
+{
+    co_await tcp_.connect(target_port);
+    // Login negotiates the volume and learns its capacity. Setup
+    // path, outside every measurement window: no CPU charges.
+    auto pdu = std::make_shared<Pdu>();
+    pdu->op = PduOp::LoginRequest;
+    pdu->volume = config_.volume;
+    pdu->header_digest = pduHeaderDigest(*pdu);
+    net::TcpMessage message;
+    message.bytes = pduWireBytes(*pdu);
+    message.payload = std::move(pdu);
+    tcp_.sendMessage(std::move(message));
+    co_await login_done_.wait();
+    co_return capacity_ > 0;
+}
+
+sim::Task<bool>
+Initiator::read(uint64_t offset, uint64_t len, sim::Addr buffer)
+{
+    return io(false, offset, len, buffer);
+}
+
+sim::Task<bool>
+Initiator::write(uint64_t offset, uint64_t len, sim::Addr buffer)
+{
+    return io(true, offset, len, buffer);
+}
+
+sim::Task<bool>
+Initiator::io(bool is_write, uint64_t offset, uint64_t len,
+              sim::Addr buffer)
+{
+    co_await slots_.acquire(buffer);
+    const sim::Tick start = host_.sim().now();
+
+    bool ok = false;
+    for (uint32_t attempt = 0;
+         attempt <= config_.max_digest_retries; ++attempt) {
+        if (attempt > 0)
+            digest_retries_.increment();
+        const ScsiStatus status =
+            co_await issueOnce(is_write, offset, len, buffer);
+        if (status == ScsiStatus::Good) {
+            ok = true;
+            break;
+        }
+        // Only digest failures are retryable; CheckCondition and
+        // IntegrityError are definitive verdicts from the target.
+        if (status != ScsiStatus::DigestError)
+            break;
+    }
+    if (!ok)
+        errors_.increment();
+
+    const double elapsed =
+        static_cast<double>(host_.sim().now() - start);
+    ios_.increment();
+    latency_.add(elapsed);
+    latency_hist_.add(elapsed);
+
+    slots_.release();
+    co_return ok;
+}
+
+sim::Task<ScsiStatus>
+Initiator::issueOnce(bool is_write, uint64_t offset, uint64_t len,
+                     sim::Addr buffer)
+{
+    Pending pending;
+    pending.is_write = is_write;
+    pending.len = len;
+    pending.buffer = buffer;
+    const uint64_t itt = next_itt_++;
+    pending_.emplace(itt, &pending);
+
+    // Arbitration key: the user buffer address — unique per
+    // concurrent submitter and pure content (DESIGN.md §8.3).
+    osmodel::CpuLease lease = co_await host_.cpus().acquire(
+        osmodel::CpuPool::kNormalPriority, buffer);
+    // Issue-side syscall crossing into the kernel initiator.
+    const sim::Tick sys = host_.costs().syscall;
+    co_await lease.run(sys, CpuCat::Kernel);
+    driver_.addSyscallNs(sys);
+    // Down through the SCSI class/port/filter stack to the miniport.
+    const sim::Tick stack = config_.scsi_stack;
+    co_await lease.run(stack, CpuCat::Kernel);
+    driver_.addProtoNs(stack);
+    const sim::Tick build = config_.request_build;
+    co_await lease.run(build, CpuCat::Other);
+    driver_.addProtoNs(build);
+
+    auto pdu = std::make_shared<Pdu>();
+    pdu->op = PduOp::ScsiCommand;
+    pdu->itt = itt;
+    pdu->is_write = is_write;
+    pdu->volume = config_.volume;
+    pdu->offset = offset;
+    pdu->xfer_len = len;
+    if (is_write) {
+        // Immediate data: a fresh copy of the user buffer every
+        // attempt (the damage model mutates delivered vectors, so a
+        // retry must never re-send the same one — see pdu.hh).
+        pdu->data_len = len;
+        sim::MemorySpace &mem = host_.memory();
+        if (!mem.phantom()) {
+            pdu->data =
+                std::make_shared<std::vector<uint8_t>>(len);
+            mem.read(buffer, pdu->data->data(), len);
+            pdu->data_digest = pduDataDigest(*pdu->data);
+            pdu->data_digest_valid = true;
+        }
+        const sim::Tick dig =
+            perKbTicks(len, config_.digest_per_kb);
+        co_await lease.run(dig, CpuCat::Other);
+        driver_.addCrcNs(dig);
+    }
+    pdu->header_digest = pduHeaderDigest(*pdu);
+
+    const uint64_t wire = pduWireBytes(*pdu);
+    co_await driver_.chargeTx(lease, wire);
+    net::TcpMessage message;
+    message.bytes = wire;
+    message.payload = std::move(pdu);
+    // Same-tick send sequencing key: the user buffer — unique per
+    // in-flight command on this stream (DESIGN.md §8.3).
+    message.order_key = buffer;
+    tcp_.sendMessage(std::move(message));
+    host_.cpus().release();
+
+    const ScsiStatus status = co_await pending.done.wait();
+    pending_.erase(itt);
+    co_return status;
+}
+
+sim::Task<>
+Initiator::onPdu(std::shared_ptr<Pdu> pdu, bool tainted,
+                 osmodel::CpuLease &lease)
+{
+    const sim::Tick parse = config_.response_parse;
+    co_await lease.run(parse, CpuCat::Other);
+    driver_.addProtoNs(parse);
+    if (pdu->op != PduOp::LoginResponse) {
+        // IRP completion routing back up the SCSI filter stack.
+        const sim::Tick stack = config_.scsi_stack;
+        co_await lease.run(stack, CpuCat::Kernel);
+        driver_.addProtoNs(stack);
+    }
+
+    if (pdu->op == PduOp::LoginResponse) {
+        capacity_ = pdu->volume_capacity;
+        if (!login_done_.ready())
+            login_done_.set();
+        co_return;
+    }
+
+    // Apply in-flight damage, then verify the RFC 3720 digests (the
+    // Internet checksum below already missed it — that is the point
+    // of end-to-end digests).
+    bool damaged;
+    if (pdu->data && !pdu->data->empty()) {
+        if (tainted)
+            (*pdu->data)[0] ^= 0xFF;
+        damaged = pdu->data_digest_valid &&
+                  pduDataDigest(*pdu->data) != pdu->data_digest;
+    } else {
+        damaged = tainted;
+    }
+    if (pdu->data_len > 0) {
+        const sim::Tick dig =
+            perKbTicks(pdu->data_len, config_.digest_per_kb);
+        co_await lease.run(dig, CpuCat::Other);
+        driver_.addCrcNs(dig);
+    }
+
+    auto it = pending_.find(pdu->itt);
+    if (it == pending_.end())
+        co_return; // stale tag (late duplicate after a retry)
+    Pending &cmd = *it->second;
+
+    const ScsiStatus status =
+        damaged ? ScsiStatus::DigestError : pdu->status;
+    if (status == ScsiStatus::Good && !cmd.is_write && pdu->data &&
+        !host_.memory().phantom()) {
+        // Content effect of the kernel->user socket copy the driver
+        // already charged for this PDU.
+        host_.memory().write(
+            cmd.buffer, pdu->data->data(),
+            std::min<uint64_t>(cmd.len, pdu->data->size()));
+    }
+    // Wake the blocked application thread.
+    const sim::Tick wake = host_.costs().context_switch;
+    co_await lease.run(wake, CpuCat::Kernel);
+    driver_.addSyscallNs(wake);
+    cmd.done.set(status);
+}
+
+} // namespace v3sim::iscsi

@@ -1,0 +1,364 @@
+#include "iscsi/target.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "disk/disk.hh"
+
+namespace v3sim::iscsi
+{
+
+namespace
+{
+
+using osmodel::CpuCat;
+
+constexpr uint64_t kSector = disk::DiskStore::kSectorSize;
+
+} // namespace
+
+Target::Target(sim::Simulation &sim, net::Fabric &fabric,
+               TargetConfig config)
+    : sim_(sim), config_(std::move(config)),
+      node_(sim,
+            osmodel::NodeConfig{config_.name, config_.cpus,
+                                config_.host_costs,
+                                config_.phantom_memory}),
+      disks_(sim),
+      metric_prefix_(sim.metrics().uniquePrefix("iscsi.tgt")),
+      tcp_(sim.queue(), fabric, sim.metrics(),
+           metric_prefix_ + ".tcp", config_.name + ".iscsi",
+           config_.tcp),
+      driver_(node_, tcp_, sim.metrics(), metric_prefix_,
+              [this](std::shared_ptr<Pdu> pdu, bool tainted,
+                     osmodel::CpuLease &lease) {
+                  return onPdu(std::move(pdu), tainted, lease);
+              }),
+      reads_(sim.metrics().counter(metric_prefix_ + ".reads")),
+      writes_(sim.metrics().counter(metric_prefix_ + ".writes")),
+      digest_mismatches_(sim.metrics().counter(
+          metric_prefix_ + ".integrity_digest_mismatches")),
+      integrity_errors_(sim.metrics().counter(
+          metric_prefix_ + ".integrity_verify_failures")),
+      server_time_(
+          sim.metrics().sampler(metric_prefix_ + ".server_time_ns"))
+{
+    if (config_.cache_bytes >= config_.block_size) {
+        const uint64_t blocks =
+            config_.cache_bytes / config_.block_size;
+        if (config_.cache_policy == storage::CachePolicy::Mq) {
+            cache_ = std::make_unique<storage::MqCache>(
+                node_.memory(), config_.block_size, blocks,
+                config_.mq);
+        } else {
+            cache_ = std::make_unique<storage::LruCache>(
+                node_.memory(), config_.block_size, blocks);
+        }
+        cache_->registerMetrics(sim.metrics(),
+                                metric_prefix_ + ".cache");
+    }
+}
+
+void
+Target::start()
+{
+    tcp_.listen();
+}
+
+sim::Task<>
+Target::onPdu(std::shared_ptr<Pdu> pdu, bool tainted,
+              osmodel::CpuLease &lease)
+{
+    // Dispatch only: the interrupted CPU hands the command to a
+    // request-manager coroutine that competes for CPUs at normal
+    // priority (the user-level target daemon).
+    (void)lease;
+    sim::spawn(handleCommand(std::move(pdu), tainted));
+    co_return;
+}
+
+sim::Task<>
+Target::handleCommand(std::shared_ptr<Pdu> cmd, bool tainted)
+{
+    const sim::Tick arrival = sim_.now();
+    // Arbitration key: the command's byte offset — request content,
+    // never arrival order (DESIGN.md §8.3).
+    osmodel::CpuLease lease = co_await node_.cpus().acquire(
+        osmodel::CpuPool::kNormalPriority, cmd->offset);
+    // Wake the user-level daemon, then parse the PDU.
+    const sim::Tick wake = node_.costs().context_switch;
+    co_await lease.run(wake, CpuCat::Kernel);
+    driver_.addSyscallNs(wake);
+    co_await lease.run(config_.parse_cost, CpuCat::Other);
+    driver_.addProtoNs(config_.parse_cost);
+
+    if (cmd->op == PduOp::LoginRequest) {
+        // Setup path: negotiate the volume, report its capacity.
+        disk::Volume *volume = volumes_.volume(cmd->volume);
+        auto reply = std::make_shared<Pdu>();
+        reply->op = PduOp::LoginResponse;
+        reply->itt = cmd->itt;
+        reply->volume = cmd->volume;
+        reply->volume_capacity = volume ? volume->capacity() : 0;
+        reply->header_digest = pduHeaderDigest(*reply);
+        net::TcpMessage message;
+        message.bytes = pduWireBytes(*reply);
+        message.order_key = cmd->itt;
+        message.payload = std::move(reply);
+        tcp_.sendMessage(std::move(message));
+        node_.cpus().release();
+        co_return;
+    }
+
+    // Apply in-flight damage and verify digests before anything
+    // else: a damaged payload must never reach the cache or a disk
+    // (the same staging-check rule as V3Server::doWrite).
+    bool damaged;
+    if (cmd->data && !cmd->data->empty()) {
+        if (tainted)
+            (*cmd->data)[0] ^= 0xFF;
+        damaged = cmd->data_digest_valid &&
+                  pduDataDigest(*cmd->data) != cmd->data_digest;
+    } else {
+        damaged = tainted;
+    }
+    if (cmd->data_len > 0) {
+        const sim::Tick dig =
+            perKbTicks(cmd->data_len, config_.digest_per_kb);
+        co_await lease.run(dig, CpuCat::Other);
+        driver_.addCrcNs(dig);
+    }
+
+    ScsiStatus status;
+    std::shared_ptr<std::vector<uint8_t>> data;
+    disk::Volume *volume = volumes_.volume(cmd->volume);
+    if (damaged) {
+        digest_mismatches_.increment();
+        status = ScsiStatus::DigestError;
+    } else if (!volume || cmd->xfer_len == 0 ||
+               cmd->offset + cmd->xfer_len > volume->capacity() ||
+               (cmd->is_write && (cmd->offset % kSector != 0 ||
+                                  cmd->xfer_len % kSector != 0))) {
+        status = ScsiStatus::CheckCondition;
+    } else if (cmd->is_write) {
+        writes_.increment();
+        status = co_await doWrite(lease, *cmd);
+    } else {
+        reads_.increment();
+        status = co_await doRead(lease, *cmd, data);
+    }
+
+    if (status == ScsiStatus::Good && !cmd->is_write) {
+        co_await respond(lease, *cmd, status, std::move(data),
+                         cmd->xfer_len);
+    } else {
+        co_await respond(lease, *cmd, status, nullptr, 0);
+    }
+    server_time_.add(static_cast<double>(sim_.now() - arrival));
+    node_.cpus().release();
+}
+
+sim::Task<ScsiStatus>
+Target::doRead(osmodel::CpuLease &lease, const Pdu &cmd,
+               std::shared_ptr<std::vector<uint8_t>> &data_out)
+{
+    disk::Volume *volume = volumes_.volume(cmd.volume);
+    sim::MemorySpace &mem = node_.memory();
+    const uint64_t bs = config_.block_size;
+    const uint64_t first = cmd.offset / bs;
+    const uint64_t last = (cmd.offset + cmd.xfer_len - 1) / bs;
+    if (!mem.phantom()) {
+        data_out =
+            std::make_shared<std::vector<uint8_t>>(cmd.xfer_len);
+    }
+
+    for (uint64_t b = first; b <= last; ++b) {
+        const storage::CacheKey key{cmd.volume, b};
+        const uint64_t block_start = b * bs;
+        const uint64_t piece_start =
+            std::max(block_start, cmd.offset);
+        const uint64_t piece_end =
+            std::min(block_start + bs, cmd.offset + cmd.xfer_len);
+
+        sim::Addr frame = sim::kNullAddr;
+        bool pinned = false;
+        sim::Addr tbuf = sim::kNullAddr;
+        if (cache_) {
+            co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+            if (auto hit = cache_->lookupAndPin(key)) {
+                frame = *hit;
+                pinned = true;
+            }
+        }
+        if (frame == sim::kNullAddr) {
+            // Miss (or caching off): fetch the whole block.
+            std::optional<sim::Addr> inserted;
+            if (cache_) {
+                co_await lease.run(config_.cache_op_cost,
+                                   CpuCat::Other);
+                inserted = cache_->insertAndPin(key);
+            }
+            if (inserted) {
+                frame = *inserted;
+                pinned = true;
+            } else {
+                tbuf = mem.allocate(bs);
+                frame = tbuf;
+            }
+            co_await lease.run(config_.disk_sched_cost,
+                               CpuCat::Other);
+            node_.cpus().release();
+            const bool ok =
+                co_await volume->read(block_start, bs, mem, frame);
+            lease = co_await node_.cpus().acquire(
+                osmodel::CpuPool::kNormalPriority, cmd.offset);
+
+            // Verify-on-read: damaged platter data must never enter
+            // the cache or reach the initiator (same rule as
+            // V3Server::doRead).
+            bool integrity_bad = false;
+            if (ok && volume->corrupt(block_start, bs)) {
+                integrity_errors_.increment();
+                integrity_bad = true;
+            }
+            if (!ok || integrity_bad) {
+                if (pinned) {
+                    cache_->unpin(key);
+                    cache_->invalidate(key);
+                }
+                if (tbuf != sim::kNullAddr)
+                    mem.free(tbuf);
+                co_return integrity_bad
+                    ? ScsiStatus::IntegrityError
+                    : ScsiStatus::CheckCondition;
+            }
+        }
+
+        // Assemble the response data segment (store-and-forward: no
+        // RDMA to place cache frames into remote buffers).
+        const uint64_t piece = piece_end - piece_start;
+        if (data_out) {
+            mem.read(frame + (piece_start - block_start),
+                     data_out->data() + (piece_start - cmd.offset),
+                     piece);
+        }
+        co_await lease.run(perKbTicks(piece, config_.memcpy_per_kb),
+                           CpuCat::Other);
+        if (pinned)
+            cache_->unpin(key);
+        if (tbuf != sim::kNullAddr)
+            mem.free(tbuf);
+    }
+    co_return ScsiStatus::Good;
+}
+
+sim::Task<ScsiStatus>
+Target::doWrite(osmodel::CpuLease &lease, const Pdu &cmd)
+{
+    disk::Volume *volume = volumes_.volume(cmd.volume);
+    sim::MemorySpace &mem = node_.memory();
+
+    // Stage the PDU's data segment into node memory (digest already
+    // verified by handleCommand).
+    const sim::Addr staging = mem.allocate(cmd.xfer_len);
+    if (cmd.data && !mem.phantom())
+        mem.write(staging, cmd.data->data(), cmd.xfer_len);
+    co_await lease.run(
+        perKbTicks(cmd.xfer_len, config_.memcpy_per_kb),
+        CpuCat::Other);
+
+    // Update resident cache blocks so subsequent reads see the new
+    // data (full blocks may be inserted; partial overlaps only
+    // update blocks already resident — as V3Server::doWrite).
+    if (cache_) {
+        const uint64_t bs = config_.block_size;
+        for (uint64_t b = cmd.offset / bs;
+             b <= (cmd.offset + cmd.xfer_len - 1) / bs; ++b) {
+            const storage::CacheKey key{cmd.volume, b};
+            const uint64_t block_start = b * bs;
+            const uint64_t piece_start =
+                std::max(block_start, cmd.offset);
+            const uint64_t piece_end = std::min(
+                block_start + bs, cmd.offset + cmd.xfer_len);
+            const bool full_block =
+                piece_start == block_start &&
+                piece_end - piece_start == bs;
+
+            co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+            std::optional<sim::Addr> frame;
+            if (full_block) {
+                frame = cache_->insertAndPin(key);
+            } else if (cache_->contains(key)) {
+                frame = cache_->lookupAndPin(key);
+            }
+            if (frame) {
+                sim::MemorySpace::copy(
+                    mem, staging + (piece_start - cmd.offset), mem,
+                    *frame + (piece_start - block_start),
+                    piece_end - piece_start);
+                co_await lease.run(
+                    perKbTicks(piece_end - piece_start,
+                               config_.memcpy_per_kb),
+                    CpuCat::Other);
+                cache_->unpin(key);
+            }
+        }
+    }
+
+    // Commit to disk before responding (durability, §5.2).
+    co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
+    node_.cpus().release();
+    const bool ok = co_await volume->write(cmd.offset, cmd.xfer_len,
+                                           mem, staging);
+    lease = co_await node_.cpus().acquire(
+        osmodel::CpuPool::kNormalPriority, cmd.offset);
+    mem.free(staging);
+    co_return ok ? ScsiStatus::Good : ScsiStatus::CheckCondition;
+}
+
+sim::Task<>
+Target::respond(osmodel::CpuLease &lease, const Pdu &cmd,
+                ScsiStatus status,
+                std::shared_ptr<std::vector<uint8_t>> data,
+                uint64_t data_len)
+{
+    auto pdu = std::make_shared<Pdu>();
+    pdu->op = (status == ScsiStatus::Good && !cmd.is_write)
+                  ? PduOp::DataIn
+                  : PduOp::ScsiResponse;
+    pdu->itt = cmd.itt;
+    pdu->is_write = cmd.is_write;
+    pdu->volume = cmd.volume;
+    pdu->offset = cmd.offset;
+    pdu->xfer_len = cmd.xfer_len;
+    pdu->status = status;
+    pdu->data = std::move(data);
+    pdu->data_len = data_len;
+    if (pdu->data && !pdu->data->empty()) {
+        pdu->data_digest = pduDataDigest(*pdu->data);
+        pdu->data_digest_valid = true;
+    }
+    if (data_len > 0) {
+        const sim::Tick dig =
+            perKbTicks(data_len, config_.digest_per_kb);
+        co_await lease.run(dig, CpuCat::Other);
+        driver_.addCrcNs(dig);
+    }
+    pdu->header_digest = pduHeaderDigest(*pdu);
+
+    co_await lease.run(config_.complete_cost, CpuCat::Other);
+    const uint64_t wire = pduWireBytes(*pdu);
+    co_await driver_.chargeTx(lease, wire);
+    net::TcpMessage message;
+    message.bytes = wire;
+    // Same-tick send sequencing key: the initiator's transfer tag —
+    // content of the reply, unique among in-flight commands on this
+    // connection (DESIGN.md §8.3).
+    message.order_key = cmd.itt;
+    message.payload = std::move(pdu);
+    tcp_.sendMessage(std::move(message));
+}
+
+} // namespace v3sim::iscsi

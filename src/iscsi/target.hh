@@ -1,0 +1,169 @@
+/**
+ * @file
+ * iSCSI target — a storage node serving SCSI commands over TCP
+ * (DESIGN.md §11).
+ *
+ * Deliberately the same machine as a V3 node (2 CPUs, the same
+ * disks, the same block cache with the same Multi-Queue policy, the
+ * same verify-on-read and commit-before-complete rules) so the
+ * VI-vs-iSCSI comparison isolates the *transport*: the only things
+ * that differ from storage::V3Server are how requests arrive
+ * (interrupt-driven TCP reassembly instead of polled VI receive
+ * descriptors) and how data moves (store-and-forward PDU buffers
+ * with socket copies instead of RDMA directly between cache frames
+ * and client buffers).
+ *
+ * Data-path rules shared with V3 (DESIGN.md §7):
+ *  - writes verify the data digest before the cache or disk see the
+ *    payload, and commit to disk before the response (durability,
+ *    §5.2);
+ *  - reads verify blocks against the volume's latent-corruption
+ *    oracle before caching or returning them — damaged platter data
+ *    never enters the cache and never reaches an initiator as Good.
+ *
+ * Simplification vs V3: no miss-run coalescing — concurrent misses
+ * on one block may each fetch it (deterministic, just wasteful),
+ * which only softens the iSCSI side of the comparison under heavy
+ * same-block contention.
+ */
+
+#ifndef V3SIM_ISCSI_TARGET_HH
+#define V3SIM_ISCSI_TARGET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iscsi/pdu.hh"
+#include "iscsi/tcp_host.hh"
+#include "net/fabric.hh"
+#include "net/tcp_stream.hh"
+#include "osmodel/node.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "storage/block_cache.hh"
+#include "storage/disk_manager.hh"
+#include "storage/mq_cache.hh"
+#include "storage/v3_server.hh"
+#include "storage/volume_manager.hh"
+
+namespace v3sim::iscsi
+{
+
+/** Static configuration of one iSCSI target node. Defaults mirror
+ *  storage::V3ServerConfig so backend comparisons are apples to
+ *  apples. */
+struct TargetConfig
+{
+    std::string name = "tgt";
+    int cpus = 2;
+    osmodel::HostCosts host_costs = osmodel::HostCosts::storageNode();
+
+    uint64_t block_size = 8192;
+    /** Cache capacity in bytes; 0 disables caching. */
+    uint64_t cache_bytes = 256ull * 1024 * 1024;
+    storage::CachePolicy cache_policy = storage::CachePolicy::Mq;
+    storage::MqConfig mq;
+
+    bool phantom_memory = false;
+
+    net::TcpConfig tcp;
+
+    /** @name Request-manager CPU costs (as V3ServerConfig) @{ */
+    sim::Tick parse_cost = sim::usecs(5.0);
+    sim::Tick cache_op_cost = sim::usecs(1.5);
+    sim::Tick disk_sched_cost = sim::usecs(3.0);
+    sim::Tick complete_cost = sim::usecs(4.0);
+    sim::Tick memcpy_per_kb = sim::usecs(0.12);
+    /** Software CRC32C per KB (see InitiatorConfig::digest_per_kb). */
+    sim::Tick digest_per_kb = sim::usecs(0.08);
+    /** @} */
+};
+
+/** One iSCSI storage node (single session: one initiator). */
+class Target
+{
+  public:
+    Target(sim::Simulation &sim, net::Fabric &fabric,
+           TargetConfig config);
+
+    Target(const Target &) = delete;
+    Target &operator=(const Target &) = delete;
+
+    osmodel::Node &node() { return node_; }
+    storage::DiskManager &diskManager() { return disks_; }
+    storage::VolumeManager &volumeManager() { return volumes_; }
+    storage::BlockCache *cache() { return cache_.get(); }
+    const TargetConfig &config() const { return config_; }
+
+    /** Begins listening. Call after volumes are assembled. */
+    void start();
+
+    /** The port initiators connect() to. */
+    net::PortId port() const { return tcp_.port(); }
+
+    /** @name Statistics @{ */
+    uint64_t readCount() const { return reads_.value(); }
+    uint64_t writeCount() const { return writes_.value(); }
+    /** Commands rejected by the header/data digest check. */
+    uint64_t digestMismatchCount() const
+    {
+        return digest_mismatches_.value();
+    }
+    /** Verify-on-read hits: blocks found damaged on disk. */
+    uint64_t integrityErrorCount() const
+    {
+        return integrity_errors_.value();
+    }
+    /** Target-resident time per command: dispatch to response. */
+    const sim::Sampler &serverTime() const
+    {
+        return server_time_.raw();
+    }
+    double cacheHitRatio() const
+    {
+        return cache_ ? cache_->hitRatio() : 0.0;
+    }
+    /** Per-layer CPU attribution of the target's kernel TCP path. */
+    const TcpHostDriver &driver() const { return driver_; }
+    /** @} */
+
+  private:
+    sim::Task<> onPdu(std::shared_ptr<Pdu> pdu, bool tainted,
+                      osmodel::CpuLease &lease);
+    sim::Task<> handleCommand(std::shared_ptr<Pdu> cmd, bool tainted);
+    sim::Task<ScsiStatus> doRead(
+        osmodel::CpuLease &lease, const Pdu &cmd,
+        std::shared_ptr<std::vector<uint8_t>> &data_out);
+    sim::Task<ScsiStatus> doWrite(osmodel::CpuLease &lease,
+                                  const Pdu &cmd);
+    sim::Task<> respond(osmodel::CpuLease &lease, const Pdu &cmd,
+                        ScsiStatus status,
+                        std::shared_ptr<std::vector<uint8_t>> data,
+                        uint64_t data_len);
+
+    sim::Simulation &sim_;
+    TargetConfig config_;
+    osmodel::Node node_;
+    storage::DiskManager disks_;
+    storage::VolumeManager volumes_;
+    std::unique_ptr<storage::BlockCache> cache_;
+
+    /// Registry path prefix ("iscsi.tgt", uniquified); must precede
+    /// the metric references so it is initialised first.
+    std::string metric_prefix_;
+
+    net::TcpStream tcp_;
+    TcpHostDriver driver_;
+
+    sim::CounterHandle reads_;
+    sim::CounterHandle writes_;
+    sim::CounterHandle digest_mismatches_;
+    sim::CounterHandle integrity_errors_;
+    sim::SamplerHandle server_time_;
+};
+
+} // namespace v3sim::iscsi
+
+#endif // V3SIM_ISCSI_TARGET_HH

@@ -63,25 +63,30 @@ Fabric::send(Packet packet, std::function<void()> on_wire)
     // Dropped packets burn serialization time but never propagate;
     // splitting the paths keeps the hot (delivered) capture within
     // EventFn's inline budget.
+    const uint64_t order_key = packet.order_key;
     if (drop) {
-        src.tx->submit(serialization,
-                       [on_wire = std::move(on_wire)]() mutable {
-                           if (on_wire)
-                               on_wire();
-                       });
+        src.tx->submit(
+            serialization,
+            [on_wire = std::move(on_wire)]() mutable {
+                if (on_wire)
+                    on_wire();
+            },
+            order_key);
         return;
     }
-    src.tx->submit(serialization,
-                   [this, packet = std::move(packet),
-                    on_wire = std::move(on_wire)]() mutable {
-                       if (on_wire)
-                           on_wire();
-                       queue_.schedule(config_.propagation,
-                                       [this, packet = std::move(packet)]()
-                                           mutable {
-                                           deliver(std::move(packet));
-                                       });
-                   });
+    src.tx->submit(
+        serialization,
+        [this, packet = std::move(packet),
+         on_wire = std::move(on_wire)]() mutable {
+            if (on_wire)
+                on_wire();
+            queue_.schedule(config_.propagation,
+                            [this, packet = std::move(packet)]()
+                                mutable {
+                                deliver(std::move(packet));
+                            });
+        },
+        order_key);
 }
 
 void

@@ -61,6 +61,15 @@ struct Packet
      * applies the damage and end-to-end digests must detect it.
      */
     bool corrupted = false;
+    /**
+     * Determinism arbitration key (DESIGN.md §8.3): orders this
+     * packet against others submitted to the same transmit queue on
+     * the same tick. Senders derive it from message content (request
+     * offset, transfer tag), never from arrival order; equal keys
+     * keep submission order, so fragments of one transfer stay
+     * sequential.
+     */
+    uint64_t order_key = 0;
     std::shared_ptr<void> payload;
 };
 

@@ -1,5 +1,6 @@
 #include "cpu_pool.hh"
 
+#include <algorithm>
 #include <numeric>
 
 namespace v3sim::osmodel
@@ -42,30 +43,94 @@ CpuPool::CpuPool(sim::Simulation &sim, int cpus, std::string name)
 }
 
 void
+CpuPool::park(std::coroutine_handle<> h, int priority,
+              uint64_t order_key)
+{
+    const Waiter w{h, priority, order_key, next_seq_++};
+    waiters_.insert(
+        std::upper_bound(waiters_.begin(), waiters_.end(), w), w);
+    if (!arb_scheduled_) {
+        arb_scheduled_ = true;
+        sim_.queue().scheduleFinal([this] { arbitrate(); });
+    }
+}
+
+void
 CpuPool::release()
 {
     assert(busy_ > 0);
-    // Hand the CPU directly to the next waiter: busy_ stays constant.
-    if (!intr_waiters_.empty()) {
-        auto h = intr_waiters_.front();
-        intr_waiters_.pop_front();
-        h.resume();
-        return;
-    }
-    if (!normal_waiters_.empty()) {
-        auto h = normal_waiters_.front();
-        normal_waiters_.pop_front();
-        h.resume();
-        return;
-    }
     --busy_;
+    // Freed capacity is not handed to the front waiter directly —
+    // that would serve same-tick contenders in arrival order. The
+    // final-band arbitration re-grants it against the full set.
+    if (!waiters_.empty() && !arb_scheduled_) {
+        arb_scheduled_ = true;
+        sim_.queue().scheduleFinal([this] { arbitrate(); });
+    }
+}
+
+void
+CpuPool::arbitrate()
+{
+    // Clear the flag first: a waiter resumed below may release and
+    // need a fresh arbitration pass later this same tick.
+    arb_scheduled_ = false;
+    while (busy_ < cpus_ && !waiters_.empty()) {
+        const Waiter w = waiters_.front();
+        waiters_.erase(waiters_.begin());
+        ++busy_;
+        w.handle.resume();
+    }
+}
+
+CpuPool::Run *
+CpuPool::beginRun(CpuCat cat)
+{
+    Run *run = free_runs_;
+    if (run != nullptr)
+        free_runs_ = run->next_free;
+    else
+        run = &run_slab_.emplace_back();
+    run->cat = cat;
+    run->start = sim_.now();
+    run->idx = active_runs_.size();
+    run->next_free = nullptr;
+    active_runs_.push_back(run);
+    return run;
+}
+
+sim::Tick
+CpuPool::endRun(Run *run)
+{
+    const sim::Tick elapsed = sim_.now() - run->start;
+    busy_time_[static_cast<size_t>(run->cat)] += elapsed;
+    active_runs_[run->idx] = active_runs_.back();
+    active_runs_[run->idx]->idx = run->idx;
+    active_runs_.pop_back();
+    run->next_free = free_runs_;
+    free_runs_ = run;
+    return elapsed;
+}
+
+sim::Tick
+CpuPool::busyTime(CpuCat cat) const
+{
+    sim::Tick total = busy_time_[static_cast<size_t>(cat)];
+    for (const Run *run : active_runs_) {
+        if (run->cat == cat)
+            total += sim_.now() - run->start;
+    }
+    return total;
 }
 
 sim::Tick
 CpuPool::totalBusyTime() const
 {
-    return std::accumulate(busy_time_.begin(), busy_time_.end(),
-                           sim::Tick{0});
+    sim::Tick total = std::accumulate(
+        busy_time_.begin(), busy_time_.end(), sim::Tick{0});
+    for (const Run *run : active_runs_)
+        total += sim_.now() - run->start;
+    return total;
 }
 
 double
@@ -93,6 +158,10 @@ CpuPool::resetStats()
 {
     busy_time_.fill(0);
     window_start_ = sim_.now();
+    // Clamp in-progress runs to the new window: the part that elapsed
+    // before the reset belongs to the old window and is discarded.
+    for (Run *run : active_runs_)
+        run->start = window_start_;
 }
 
 } // namespace v3sim::osmodel

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -78,7 +79,21 @@ class CpuLease
     CpuPool *pool_ = nullptr;
 };
 
-/** m CPUs with two-level priority admission (interrupts first). */
+/**
+ * m CPUs with two-level priority admission (interrupts first).
+ *
+ * Admission is an arbitration point under the determinism contract
+ * (DESIGN.md §8.3): when same-tick demand exceeds free CPUs, *which*
+ * contender runs first must be a function of the contender set, not
+ * of the (unspecified, tie-shuffled) order their acquire events
+ * fired in. So no acquire is granted inline: every waiter parks and
+ * a single final-band arbitration event per tick grants free CPUs in
+ * (priority, order_key, arrival) order — same tick, zero simulated
+ * latency, but a deterministic assignment. Callers whose acquires
+ * can collide on one tick pass distinct `order_key`s (worker id,
+ * request tag); the arrival-sequence tiebreak only decides between
+ * same-key contenders.
+ */
 class CpuPool
 {
   public:
@@ -95,59 +110,70 @@ class CpuPool
     const std::string &name() const { return name_; }
 
     /**
-     * Awaitable: resumes holding a CPU. Interrupt-priority waiters
-     * are admitted before normal ones.
+     * Awaitable: resumes holding a CPU, granted in this tick's final
+     * band. Interrupt-priority waiters are admitted before normal
+     * ones; ties broken by @p order_key, then arrival.
      */
     auto
-    acquire(int priority = kNormalPriority)
+    acquire(int priority = kNormalPriority, uint64_t order_key = 0)
     {
         struct Awaiter
         {
             CpuPool *pool;
             int priority;
+            uint64_t order_key;
 
-            bool
-            await_ready() const
-            {
-                if (pool->busy_ < pool->cpus_) {
-                    pool->grant();
-                    return true;
-                }
-                return false;
-            }
+            bool await_ready() const { return false; }
 
             void
             await_suspend(std::coroutine_handle<> h) const
             {
-                if (priority == kInterruptPriority)
-                    pool->intr_waiters_.push_back(h);
-                else
-                    pool->normal_waiters_.push_back(h);
+                pool->park(h, priority, order_key);
             }
 
             CpuLease await_resume() const { return CpuLease(pool); }
         };
-        return Awaiter{this, priority};
+        return Awaiter{this, priority, order_key};
     }
 
-    /** Returns the CPU; wakes the highest-priority waiter, if any. */
+    /** Returns the CPU; freed capacity is re-granted in the final
+     *  band. */
     void release();
 
-    /** Adds busy time to a category (used by CpuLease and SimLock). */
+    /** An in-progress busy interval (one per running charge). The
+     *  window accounting is exact: a run crossing a resetStats()
+     *  boundary contributes to each window only the time that elapsed
+     *  inside it, so utilization can never exceed 1 however the
+     *  measurement window straddles running work. */
+    struct Run
+    {
+        CpuCat cat = CpuCat::Other;
+        sim::Tick start = 0;
+        size_t idx = 0; ///< position in active_runs_ (swap-erase)
+        Run *next_free = nullptr;
+    };
+
+    /** Opens a busy interval charged to @p cat starting now. */
+    Run *beginRun(CpuCat cat);
+
+    /** Closes @p run, charging the time elapsed since its (possibly
+     *  reset-clamped) start; returns that charged amount. */
+    sim::Tick endRun(Run *run);
+
+    /** Adjusts a category's accumulated time directly (SimLock uses
+     *  this to re-attribute a slice of a closed Lock run to the
+     *  caller's hold category). */
     void
     addBusy(CpuCat cat, sim::Tick d)
     {
         busy_time_[static_cast<size_t>(cat)] += d;
     }
 
-    /** Accumulated busy time for @p cat since the last reset. */
-    sim::Tick
-    busyTime(CpuCat cat) const
-    {
-        return busy_time_[static_cast<size_t>(cat)];
-    }
+    /** Busy time for @p cat since the last reset, including the
+     *  elapsed part of in-progress runs. */
+    sim::Tick busyTime(CpuCat cat) const;
 
-    /** Sum of all categories. */
+    /** Sum of all categories (in-progress runs included). */
     sim::Tick totalBusyTime() const;
 
     /** Busy fraction of the whole pool over [reset, now]. */
@@ -159,23 +185,47 @@ class CpuPool
     /** Restarts the accounting window at the current time. */
     void resetStats();
 
-    size_t waiterCount() const
-    {
-        return intr_waiters_.size() + normal_waiters_.size();
-    }
+    size_t waiterCount() const { return waiters_.size(); }
 
   private:
     friend class CpuLease;
 
-    void grant() { ++busy_; }
+    struct Waiter
+    {
+        std::coroutine_handle<> handle;
+        int priority;
+        uint64_t order_key;
+        uint64_t seq; ///< arrival tiebreak among equal keys
+
+        bool
+        operator<(const Waiter &other) const
+        {
+            if (priority != other.priority)
+                return priority < other.priority;
+            if (order_key != other.order_key)
+                return order_key < other.order_key;
+            return seq < other.seq;
+        }
+    };
+
+    void park(std::coroutine_handle<> h, int priority,
+              uint64_t order_key);
+    /** Final-band grant pass: admits waiters while CPUs are free. */
+    void arbitrate();
 
     sim::Simulation &sim_;
     int cpus_;
     std::string name_;
     int busy_ = 0;
-    std::deque<std::coroutine_handle<>> intr_waiters_;
-    std::deque<std::coroutine_handle<>> normal_waiters_;
+    std::vector<Waiter> waiters_; ///< kept sorted (insertion sort)
+    uint64_t next_seq_ = 0;
+    bool arb_scheduled_ = false;
+    /** Completed-run time per category (excludes active runs). */
     std::array<sim::Tick, kCpuCatCount> busy_time_{};
+    /** Open intervals; bounded by cpus_ (runs hold a lease). */
+    std::vector<Run *> active_runs_;
+    std::deque<Run> run_slab_; ///< stable addresses for Run nodes
+    Run *free_runs_ = nullptr;
     sim::Tick window_start_ = 0;
 };
 
@@ -193,9 +243,12 @@ CpuLease::run(sim::Tick d, CpuCat cat)
         void
         await_suspend(std::coroutine_handle<> h) const
         {
-            lease->pool_->addBusy(cat, d);
-            lease->pool_->sim_.queue().schedule(d,
-                                                [h] { h.resume(); });
+            CpuPool *pool = lease->pool_;
+            CpuPool::Run *run = pool->beginRun(cat);
+            pool->sim_.queue().schedule(d, [pool, run, h] {
+                pool->endRun(run);
+                h.resume();
+            });
         }
 
         void await_resume() const {}

@@ -64,6 +64,28 @@ struct HostCosts
     /** Typical critical-section length inside the I/O path. */
     sim::Tick lock_hold = sim::usecs(0.25);
 
+    /** @name Kernel TCP/socket path (the iSCSI rival transport,
+     * DESIGN.md §11).
+     * These are the per-I/O costs a user-level, zero-copy VI path
+     * avoids by construction: the kernel protocol stack touches every
+     * segment, copies every byte across the user/kernel boundary, and
+     * checksums payloads in software (paper-era server NICs offered
+     * no TCP checksum offload worth relying on).
+     * @{ */
+    /** TCP/IP per-segment protocol processing (header build/parse,
+     *  state machine, socket demux) — charged on transmit and
+     *  receive alike. */
+    sim::Tick tcp_segment = sim::usecs(1.8);
+    /** Socket-buffer copy across the user/kernel boundary, per KB
+     *  (send: user->kernel; receive: kernel->user). VI RDMA places
+     *  data directly in registered user buffers instead. */
+    sim::Tick sock_copy_per_kb = sim::usecs(1.0);
+    /** Internet checksum over segment payload, per KB, in software.
+     *  VI relies on the NIC's hardware CRC per hop plus DSA's
+     *  end-to-end digests. */
+    sim::Tick inet_checksum_per_kb = sim::usecs(0.45);
+    /** @} */
+
     /** Extra per-path cost of the *unoptimized* I/O request path:
      *  shared structures without cache-conscious layout bounce
      *  cache lines between processors (section 3.3). Grows steeply

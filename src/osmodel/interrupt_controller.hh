@@ -52,12 +52,17 @@ class InterruptController
     /**
      * Raises an interrupt: preempt-priority CPU acquisition, the
      * interrupt entry/exit cost (charged to Kernel), then @p handler.
+     *
+     * @param order_key determinism arbitration key (DESIGN.md §8.3):
+     *        orders this interrupt against others raised on the same
+     *        tick. Pass a stable source identity (device/queue id),
+     *        never an arrival-order value.
      */
     void
-    raise(Handler handler)
+    raise(Handler handler, uint64_t order_key = 0)
     {
         raised_.increment();
-        sim::spawn(dispatch(std::move(handler)));
+        sim::spawn(dispatch(std::move(handler), order_key));
     }
 
     /** Interrupts raised since construction. */
@@ -65,10 +70,10 @@ class InterruptController
 
   private:
     sim::Task<>
-    dispatch(Handler handler)
+    dispatch(Handler handler, uint64_t order_key)
     {
-        CpuLease lease =
-            co_await cpus_.acquire(CpuPool::kInterruptPriority);
+        CpuLease lease = co_await cpus_.acquire(
+            CpuPool::kInterruptPriority, order_key);
         co_await lease.run(costs_.interrupt, CpuCat::Kernel);
         co_await handler(lease);
         cpus_.release();

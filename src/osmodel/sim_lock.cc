@@ -1,5 +1,6 @@
 #include "sim_lock.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace v3sim::osmodel
@@ -22,6 +23,10 @@ SimLock::syncPair(CpuLease lease, CpuCat hold_cat, sim::Tick hold)
 
     acquisitions_.increment();
     const sim::Tick start = sim_.now();
+    // The stay is an open busy interval on our still-held CPU, so a
+    // measurement-window reset mid-stay clips it correctly instead of
+    // attributing the whole stay to whichever window it ends in.
+    CpuPool::Run *stay = lease.pool()->beginRun(CpuCat::Lock);
 
     // Park into the tail batch (same-tick contenders share one) and
     // resume when that batch's turn completes. Local awaiter: it has
@@ -50,13 +55,17 @@ SimLock::syncPair(CpuLease lease, CpuCat hold_cat, sim::Tick hold)
     co_await BatchJoin{this, hold};
 
     // The whole stay — spin + critical section + release op — just
-    // elapsed on our (still-held) CPU; tile it into the accounting
-    // categories. Spin time beyond the member's own hold+release
-    // means the batch had company (or queued behind another batch).
+    // elapsed on our (still-held) CPU. Close the interval (charged to
+    // Lock, clipped to the current window) and re-attribute the
+    // critical section to the caller's category. Spin time beyond the
+    // member's own hold+release means the batch had company (or
+    // queued behind another batch).
     const sim::Tick elapsed = sim_.now() - start;
     const sim::Tick spin = elapsed - hold - costs_.lock_release;
-    lease.pool()->addBusy(hold_cat, hold);
-    lease.pool()->addBusy(CpuCat::Lock, elapsed - hold);
+    const sim::Tick charged = lease.pool()->endRun(stay);
+    const sim::Tick hold_part = std::min(hold, charged);
+    lease.pool()->addBusy(hold_cat, hold_part);
+    lease.pool()->addBusy(CpuCat::Lock, -hold_part);
     if (spin > 0) {
         contended_.increment();
         total_wait_ += spin;

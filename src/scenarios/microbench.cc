@@ -95,16 +95,26 @@ MicroRig::measureLatency(uint64_t size, bool is_read, int iterations,
     result.cpu_overhead_us =
         sim::toUsecs(host().cpus().totalBusyTime() - cpu_before) /
         iterations;
-    if (server() && server()->serverTime().count() > 0)
+    if (server() && server()->serverTime().count() > 0) {
         result.server_us = server()->serverTime().mean() / 1e3;
+    } else if (!testbed_->iscsiTargets().empty()) {
+        const auto &tgt = *testbed_->iscsiTargets().front();
+        if (tgt.serverTime().count() > 0)
+            result.server_us = tgt.serverTime().mean() / 1e3;
+    }
 
     // Tail latency from the client-side histogram (DSA client for
-    // V3 backends, the HBA path for Local).
+    // V3 backends, the iSCSI session for Iscsi, the HBA path for
+    // Local).
     const sim::Histogram *hist = nullptr;
     if (testbed_->local()) {
         hist = &testbed_->local()->latencyHistogram();
     } else if (!testbed_->clients().empty()) {
         hist = &testbed_->clients().front()->latencyHistogram();
+    } else if (!testbed_->iscsiInitiators().empty()) {
+        hist = &testbed_->iscsiInitiators()
+                    .front()
+                    ->latencyHistogram();
     }
     if (hist && hist->count() > 0) {
         result.p50_us = hist->quantile(0.50) / 1e3;
@@ -165,6 +175,12 @@ MicroRig::measureThroughput(uint64_t size, bool is_read,
                   static_cast<double>(size) / seconds / 1e6;
     result.iops = static_cast<double>(completed) / seconds;
     result.mean_response_us = response.mean() / 1e3;
+    // resetStats() above started a fresh epoch, so the pool's busy
+    // time covers exactly this measurement (window plus drain).
+    if (completed > 0)
+        result.cpu_us_per_io =
+            sim::toUsecs(host().cpus().totalBusyTime()) /
+            static_cast<double>(completed);
     return result;
 }
 

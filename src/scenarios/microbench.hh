@@ -98,6 +98,8 @@ class MicroRig
         double mbps = 0;
         double mean_response_us = 0;
         double iops = 0;
+        /** Host CPU busy per completed I/O over the window. */
+        double cpu_us_per_io = 0;
     };
 
     ThroughputResult measureThroughput(uint64_t size, bool is_read,

@@ -13,6 +13,7 @@ backendName(Backend backend)
       case Backend::Kdsa: return "kDSA";
       case Backend::Wdsa: return "wDSA";
       case Backend::Cdsa: return "cDSA";
+      case Backend::Iscsi: return "iSCSI";
     }
     return "?";
 }
@@ -24,9 +25,10 @@ backendImpl(Backend backend)
       case Backend::Kdsa: return dsa::DsaImpl::Kdsa;
       case Backend::Wdsa: return dsa::DsaImpl::Wdsa;
       case Backend::Cdsa: return dsa::DsaImpl::Cdsa;
-      case Backend::Local: break;
+      case Backend::Local:
+      case Backend::Iscsi: break;
     }
-    assert(false && "Local backend has no DSA implementation");
+    assert(false && "backend has no DSA implementation");
     return dsa::DsaImpl::Kdsa;
 }
 
@@ -116,6 +118,50 @@ Testbed::Testbed(Backend backend, HostParams host_params,
         return;
     }
 
+    if (backend_ == Backend::Iscsi) {
+        // Rival transport: the same storage-node hardware as the V3
+        // branch below (disks, cache size and policy, CPU count),
+        // reached through one iSCSI/TCP session per node instead of
+        // a VI connection. The host needs no VI NICs: each initiator
+        // attaches a plain fabric port.
+        assert(!storage_params_.mirrored &&
+               "mirroring is a DSA-backend feature");
+        std::vector<dsa::BlockDevice *> children;
+        for (int n = 0; n < storage_params_.v3_nodes; ++n) {
+            iscsi::TargetConfig target_config;
+            target_config.name = "tgt." + std::to_string(n);
+            target_config.cache_bytes =
+                storage_params_.cache_bytes_per_node;
+            target_config.cache_policy = storage_params_.cache_policy;
+            target_config.phantom_memory = host_params.phantom_memory;
+            auto target = std::make_unique<iscsi::Target>(
+                sim_, fabric_, target_config);
+            auto disks = target->diskManager().addDisks(
+                storage_params_.disk_spec,
+                target_config.name + ".d",
+                storage_params_.disks_per_node,
+                host_params.phantom_memory);
+            const uint32_t volume =
+                target->volumeManager().addStripedVolume(
+                    disks, storage_params_.stripe_unit);
+            target->start();
+
+            iscsi::InitiatorConfig init_config;
+            init_config.volume = volume;
+            init_config.max_outstanding =
+                storage_params_.request_credits;
+            iscsi_initiators_.push_back(
+                std::make_unique<iscsi::Initiator>(*host_, fabric_,
+                                                   init_config));
+            children.push_back(iscsi_initiators_.back().get());
+            iscsi_targets_.push_back(std::move(target));
+        }
+        striped_ = std::make_unique<dsa::StripedDevice>(
+            children, storage_params_.stripe_unit);
+        device_ = striped_.get();
+        return;
+    }
+
     // V3 backend: one server per storage node, one client NIC per
     // server, one DSA connection per pair; the database volume
     // stripes across nodes.
@@ -188,6 +234,21 @@ Testbed::connectAll()
 {
     if (backend_ == Backend::Local)
         return true;
+    if (backend_ == Backend::Iscsi) {
+        bool all_ok = true;
+        int pending = static_cast<int>(iscsi_initiators_.size());
+        for (size_t i = 0; i < iscsi_initiators_.size(); ++i) {
+            sim::spawn([](iscsi::Initiator &init, net::PortId port,
+                          bool &ok, int &remaining) -> sim::Task<> {
+                if (!co_await init.connect(port))
+                    ok = false;
+                --remaining;
+            }(*iscsi_initiators_[i], iscsi_targets_[i]->port(),
+              all_ok, pending));
+        }
+        sim_.run();
+        return all_ok && pending == 0;
+    }
     bool all_ok = true;
     int pending = static_cast<int>(clients_.size());
     for (auto &client : clients_) {
@@ -202,17 +263,27 @@ Testbed::connectAll()
     return all_ok && pending == 0;
 }
 
+std::vector<storage::BlockCache *>
+Testbed::caches()
+{
+    std::vector<storage::BlockCache *> out;
+    for (auto &server : servers_)
+        if (storage::BlockCache *cache = server->cache())
+            out.push_back(cache);
+    for (auto &target : iscsi_targets_)
+        if (storage::BlockCache *cache = target->cache())
+            out.push_back(cache);
+    return out;
+}
+
 double
 Testbed::serverCacheHitRatio() const
 {
     uint64_t hits = 0, misses = 0;
-    for (const auto &server : servers_) {
-        const storage::BlockCache *cache =
-            const_cast<storage::V3Server &>(*server).cache();
-        if (cache) {
-            hits += cache->hits();
-            misses += cache->misses();
-        }
+    for (storage::BlockCache *cache :
+         const_cast<Testbed *>(this)->caches()) {
+        hits += cache->hits();
+        misses += cache->misses();
     }
     const uint64_t total = hits + misses;
     return total ? static_cast<double>(hits) / total : 0.0;
@@ -226,6 +297,14 @@ Testbed::diskUtilization() const
     for (const auto &server : servers_) {
         auto &manager =
             const_cast<storage::V3Server &>(*server).diskManager();
+        for (size_t i = 0; i < manager.diskCount(); ++i) {
+            sum += manager.disk(i).utilization();
+            ++count;
+        }
+    }
+    for (const auto &target : iscsi_targets_) {
+        auto &manager =
+            const_cast<iscsi::Target &>(*target).diskManager();
         for (size_t i = 0; i < manager.diskCount(); ++i) {
             sum += manager.disk(i).utilization();
             ++count;

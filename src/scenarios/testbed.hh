@@ -39,6 +39,8 @@
 #include "dsa/dsa_client.hh"
 #include "dsa/local_backend.hh"
 #include "dsa/mirrored_device.hh"
+#include "iscsi/initiator.hh"
+#include "iscsi/target.hh"
 #include "net/fabric.hh"
 #include "osmodel/node.hh"
 #include "sim/simulation.hh"
@@ -55,6 +57,10 @@ enum class Backend : uint8_t
     Kdsa,
     Wdsa,
     Cdsa,
+    /** The rival transport: software iSCSI over TCP (DESIGN.md §11).
+     *  Same storage nodes as the DSA backends, reached through the
+     *  kernel socket stack instead of VI. */
+    Iscsi,
 };
 
 const char *backendName(Backend backend);
@@ -142,6 +148,23 @@ class Testbed
 
     dsa::LocalBackend *local() { return local_.get(); }
 
+    /** iSCSI storage nodes (empty unless Backend::Iscsi). */
+    std::vector<std::unique_ptr<iscsi::Target>> &iscsiTargets()
+    {
+        return iscsi_targets_;
+    }
+
+    /** iSCSI sessions, one per target (empty unless
+     *  Backend::Iscsi). */
+    std::vector<std::unique_ptr<iscsi::Initiator>> &iscsiInitiators()
+    {
+        return iscsi_initiators_;
+    }
+
+    /** Every storage-node block cache in the testbed, regardless of
+     *  backend (V3 servers or iSCSI targets); empty for Local. */
+    std::vector<storage::BlockCache *> caches();
+
     /** Mirror pairs (empty unless StorageParams::mirrored). */
     std::vector<std::unique_ptr<dsa::MirroredDevice>> &mirrors()
     {
@@ -151,7 +174,7 @@ class Testbed
     /** Fault injector over this testbed's fabric. */
     vi::FaultInjector &faults() { return *faults_; }
 
-    /** Read hit ratio across all V3 server caches. */
+    /** Read hit ratio across all storage-node caches. */
     double serverCacheHitRatio() const;
 
     /** Mean disk utilization across all storage spindles. */
@@ -177,6 +200,8 @@ class Testbed
     std::vector<std::unique_ptr<vi::ViNic>> nics_;
     std::vector<std::unique_ptr<dsa::DsaClient>> clients_;
     std::vector<std::unique_ptr<dsa::MirroredDevice>> mirrors_;
+    std::vector<std::unique_ptr<iscsi::Target>> iscsi_targets_;
+    std::vector<std::unique_ptr<iscsi::Initiator>> iscsi_initiators_;
     std::unique_ptr<dsa::StripedDevice> striped_;
 
     std::vector<std::unique_ptr<disk::Disk>> local_disks_;

@@ -98,6 +98,8 @@ runTpcc(const TpccRunConfig &config)
 
     Testbed testbed(config.backend, host, storage, dsa_config,
                     config.seed);
+    if (config.tie_seed != 0)
+        testbed.sim().queue().setTieShuffle(config.tie_seed);
     if (!testbed.connectAll()) {
         return TpccRunResult{};
     }
@@ -110,10 +112,8 @@ runTpcc(const TpccRunConfig &config)
     // Warm-start the V3 caches with the hot set so short measurement
     // windows see steady-state hit ratios (the real system warmed up
     // over tens of minutes).
-    for (auto &server : testbed.servers()) {
-        storage::BlockCache *cache = server->cache();
-        if (!cache)
-            continue;
+    std::vector<storage::BlockCache *> caches = testbed.caches();
+    for (storage::BlockCache *cache : caches) {
         const uint64_t hot_pages =
             static_cast<uint64_t>(
                 static_cast<double>(workload.workingSetBytes()) *
@@ -123,8 +123,7 @@ runTpcc(const TpccRunConfig &config)
         // holds 1/N of the hot range, at the *start* of its own
         // volume (stripe unit i of the device is unit i/N locally).
         const uint64_t hot_per_node =
-            hot_pages /
-            static_cast<uint64_t>(testbed.servers().size());
+            hot_pages / static_cast<uint64_t>(caches.size());
         const uint64_t fill =
             std::min(hot_per_node, cache->capacityBlocks());
         for (uint64_t b = 0; b < fill; ++b) {
@@ -150,6 +149,8 @@ runTpcc(const TpccRunConfig &config)
     result.host_interrupts = testbed.hostInterrupts();
     for (auto &client : testbed.clients())
         result.retransmits += client->retransmitCount();
+    for (auto &init : testbed.iscsiInitiators())
+        result.retransmits += init->tcp().retransmitCount();
     result.metrics_json = testbed.sim().metrics().toJson();
     result.events_fired = testbed.sim().queue().firedCount();
     result.sim_elapsed = testbed.sim().now();

@@ -45,6 +45,10 @@ struct TpccRunConfig
     sim::Tick window = sim::msecs(1500);
     uint64_t seed = 1;
 
+    /** Nonzero arms EventQueue tie-shuffle with this seed before the
+     *  run, for abl_determinism-style byte-identical double runs. */
+    uint64_t tie_seed = 0;
+
     /** Optional DSA overrides for ablation sweeps (0 = default). */
     uint32_t intr_high_watermark = 0;
     uint32_t intr_low_watermark = 0;

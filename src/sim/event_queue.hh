@@ -45,6 +45,7 @@
 #ifndef V3SIM_SIM_EVENT_QUEUE_HH
 #define V3SIM_SIM_EVENT_QUEUE_HH
 
+#include <coroutine>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -142,6 +143,35 @@ class EventQueue
      * See DESIGN.md §8.3.
      */
     void scheduleFinal(EventFn fn);
+
+    /**
+     * Awaitable form of scheduleFinal(): resumes the coroutine in the
+     * current tick's final band. Lets a level-sensitive check — "is
+     * the receive queue really empty before I re-arm?" — defer its
+     * decision until every same-tick event has run, so the answer is
+     * a function of the tick's full event set rather than of the
+     * shuffled order between the check and a same-tick arrival
+     * (DESIGN.md §8.3).
+     */
+    auto
+    finalBand()
+    {
+        struct Awaiter
+        {
+            EventQueue *queue;
+
+            bool await_ready() const { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h) const
+            {
+                queue->scheduleFinal([h] { h.resume(); });
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{this};
+    }
 
     /** Like schedule(), but returns a cancellation Handle (this is
      *  the only path that touches a control slot). */

@@ -1,5 +1,6 @@
 #include "resource.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace v3sim::sim
@@ -34,17 +35,41 @@ ServerPool::releaseJob(Job *job)
 }
 
 void
-ServerPool::submit(Tick service, EventFn done)
+ServerPool::submit(Tick service, EventFn done, uint64_t order_key)
 {
     Job *job = allocJob();
     job->service = service;
     job->enqueued = queue_.now();
+    job->order_key = order_key;
+    job->seq = next_seq_++;
     job->done = std::move(done);
-    if (busy_ < servers_) {
-        startJob(job);
-    } else {
-        waiting_.push_back(job);
+    // Never start in submission order: same-tick submissions race
+    // (DESIGN.md §8.3). Gather them and admit in the final band,
+    // ordered by (order_key, seq).
+    const auto after = [](const Job *a, const Job *b) {
+        return a->order_key < b->order_key ||
+               (a->order_key == b->order_key && a->seq < b->seq);
+    };
+    pending_.insert(std::upper_bound(pending_.begin(), pending_.end(),
+                                     job, after),
+                    job);
+    if (!admit_scheduled_) {
+        admit_scheduled_ = true;
+        queue_.scheduleFinal([this] { admitPending(); });
     }
+}
+
+void
+ServerPool::admitPending()
+{
+    admit_scheduled_ = false;
+    for (Job *job : pending_) {
+        if (busy_ < servers_)
+            startJob(job);
+        else
+            waiting_.push_back(job);
+    }
+    pending_.clear();
 }
 
 void

@@ -37,6 +37,20 @@ digestTicks(uint64_t len, sim::Tick per_kb)
     return static_cast<sim::Tick>((len + 1023) / 1024) * per_kb;
 }
 
+/**
+ * Determinism arbitration key (DESIGN.md §8.3): hash-combines a
+ * per-connection content value (the connection's unique staging base)
+ * with a request-content value, so same-tick contenders from
+ * different connections never tie. Ties fall back to arrival order,
+ * which the tie-shuffle is free to permute — keys must therefore be
+ * unique among plausible same-tick contenders.
+ */
+uint64_t
+orderKey(uint64_t conn_salt, uint64_t v)
+{
+    return conn_salt * 0x9e3779b97f4a7c15ull ^ v;
+}
+
 } // namespace
 
 V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
@@ -323,7 +337,9 @@ V3Server::handleRequest(Connection &conn, dsa::RequestMsg req,
                         uint64_t recv_cookie)
 {
     const sim::Tick arrival = sim_.now();
-    CpuLease lease = co_await node_.cpus().acquire();
+    CpuLease lease = co_await node_.cpus().acquire(
+        osmodel::CpuPool::kNormalPriority,
+        orderKey(conn.staging_base, req.offset));
     co_await lease.run(config_.parse_cost, CpuCat::Other);
 
     pruneSeqs(conn, req.ack_below);
@@ -414,6 +430,7 @@ V3Server::handleHello(Connection &conn, const dsa::RequestMsg &req,
     desc.local_addr = conn.reply_buf;
     desc.len = dsa::kResponseWireBytes;
     desc.control = std::move(ack);
+    desc.order_key = conn.reply_buf;
     nic_->postSend(*conn.ep, desc, conn.reply_handle);
 }
 
@@ -445,6 +462,7 @@ V3Server::postCompletion(Connection &conn, const dsa::RequestMsg &req,
         desc.len = 8;
         desc.remote_addr = req.flag_addr;
         desc.meta = flag;
+        desc.order_key = req.flag_addr;
         nic_->postRdmaWrite(*conn.ep, desc, conn.flag_handle);
     } else {
         auto response = std::make_shared<dsa::ServerMsg>();
@@ -457,6 +475,7 @@ V3Server::postCompletion(Connection &conn, const dsa::RequestMsg &req,
         desc.local_addr = conn.reply_buf;
         desc.len = dsa::kResponseWireBytes;
         desc.control = std::move(response);
+        desc.order_key = orderKey(conn.staging_base, req.offset);
         nic_->postSend(*conn.ep, desc, conn.reply_handle);
     }
 }
@@ -485,7 +504,9 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         node_.cpus().release();
         const bool ok =
             co_await volume->read(a_off, a_end - a_off, mem, tbuf);
-        lease = co_await node_.cpus().acquire();
+        lease = co_await node_.cpus().acquire(
+            osmodel::CpuPool::kNormalPriority,
+            orderKey(conn.staging_base, req.offset));
 
         // Verify-on-read: damaged platter data must not reach the
         // client as if it were good.
@@ -510,6 +531,7 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
             desc.local_addr = tbuf + (req.offset - a_off);
             desc.len = req.len;
             desc.remote_addr = req.client_buffer;
+            desc.order_key = req.client_buffer;
             sent = nic_->postRdmaWrite(*conn.ep, desc, reg->handle);
         }
         // NOTE: the transient stays registered until after the RDMA
@@ -563,7 +585,9 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
             sim::CondEvent *event = loading->second.get();
             node_.cpus().release();
             co_await event->wait();
-            lease = co_await node_.cpus().acquire();
+            lease = co_await node_.cpus().acquire(
+                osmodel::CpuPool::kNormalPriority,
+                orderKey(conn.staging_base, req.offset));
             continue;
         }
 
@@ -585,7 +609,9 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
 
         node_.cpus().release();
         bool ok = co_await volume->read(b * bs, run_bytes, mem, tbuf);
-        lease = co_await node_.cpus().acquire();
+        lease = co_await node_.cpus().acquire(
+            osmodel::CpuPool::kNormalPriority,
+            orderKey(conn.staging_base, req.offset));
 
         // Verify-on-read: a block damaged on the platter must never
         // enter the cache (it would masquerade as a verified copy)
@@ -673,6 +699,7 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
                                      crc);
         desc.remote_addr =
             req.client_buffer + (piece_start - req.offset);
+        desc.order_key = desc.remote_addr;
         vi::MemHandle handle = cache_handle_;
         if (!ref.pinned) {
             // Find the covering transient registration.
@@ -786,7 +813,9 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
     node_.cpus().release();
     const bool ok =
         co_await volume->write(req.offset, req.len, mem, staging);
-    lease = co_await node_.cpus().acquire();
+    lease = co_await node_.cpus().acquire(
+        osmodel::CpuPool::kNormalPriority,
+        orderKey(conn.staging_base, req.offset));
     co_return ok ? dsa::IoStatus::Ok : dsa::IoStatus::Error;
 }
 
@@ -833,7 +862,9 @@ V3Server::prefetchRange(uint32_t volume_id, uint64_t first,
     const uint64_t bs = config_.block_size;
     sim::MemorySpace &mem = node_.memory();
 
-    CpuLease lease = co_await node_.cpus().acquire();
+    CpuLease lease = co_await node_.cpus().acquire(
+        osmodel::CpuPool::kNormalPriority,
+        orderKey(volume_id, first * bs));
     uint64_t b = first;
     while (b <= last) {
         const CacheKey key{volume_id, b};
@@ -859,7 +890,9 @@ V3Server::prefetchRange(uint32_t volume_id, uint64_t first,
         co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
         node_.cpus().release();
         bool ok = co_await volume->read(b * bs, run_bytes, mem, tbuf);
-        lease = co_await node_.cpus().acquire();
+        lease = co_await node_.cpus().acquire(
+            osmodel::CpuPool::kNormalPriority,
+            orderKey(volume_id, b * bs));
 
         // Same verify-on-read rule as doRead: never cache a block
         // that is damaged on disk.

@@ -112,4 +112,12 @@ Workload::sampleOffset()
     return page * config_.page_size;
 }
 
+Workload
+Workload::fork()
+{
+    Workload child(*this);
+    child.rng_ = rng_.fork();
+    return child;
+}
+
 } // namespace v3sim::tpcc

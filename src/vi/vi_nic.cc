@@ -181,7 +181,7 @@ ViNic::postRdmaRead(ViEndpoint &ep, const WorkDescriptor &desc,
     msg.read_dest = desc.local_addr;    // sink here
     msg.total_len = desc.len;
     msg.read_cookie = desc.cookie;
-    sendControl(ep.remote_port_, std::move(msg));
+    sendControl(ep.remote_port_, std::move(msg), desc.order_key);
     return true;
 }
 
@@ -226,6 +226,7 @@ ViNic::transmit(ViEndpoint &ep, const WorkDescriptor &desc,
         packet.src = port_;
         packet.dst = ep.remote_port_;
         packet.wire_bytes = frag_len + costs_.packet_header_bytes;
+        packet.order_key = desc.order_key;
         packet.payload = std::move(msg);
 
         packets_sent_.increment();
@@ -262,26 +263,30 @@ ViNic::transmit(ViEndpoint &ep, const WorkDescriptor &desc,
             [this, packet = std::move(packet),
              on_wire = std::move(on_wire)]() mutable {
                 fabric_.send(std::move(packet), std::move(on_wire));
-            });
+            },
+            desc.order_key);
 
         offset += frag_len;
     } while (offset < total);
 }
 
 void
-ViNic::sendControl(net::PortId dst, WireMsg msg)
+ViNic::sendControl(net::PortId dst, WireMsg msg, uint64_t order_key)
 {
     auto payload = std::make_shared<WireMsg>(std::move(msg));
     net::Packet packet;
     packet.src = port_;
     packet.dst = dst;
     packet.wire_bytes = costs_.packet_header_bytes;
+    packet.order_key = order_key;
     packet.payload = std::move(payload);
     packets_sent_.increment();
-    tx_engine_.submit(costs_.nic_tx_processing,
-                      [this, packet = std::move(packet)]() mutable {
-                          fabric_.send(std::move(packet));
-                      });
+    tx_engine_.submit(
+        costs_.nic_tx_processing,
+        [this, packet = std::move(packet)]() mutable {
+            fabric_.send(std::move(packet));
+        },
+        order_key);
 }
 
 void
@@ -299,6 +304,11 @@ void
 ViNic::onPacket(net::Packet packet)
 {
     packets_received_.increment();
+    // Receive-side arbitration key: the source port. Packets from
+    // one source are serialized by its link and never collide on a
+    // tick; same-tick collisions are always different sources, and
+    // ordering those by port id is content, not arrival order.
+    const uint64_t rx_key = packet.src;
     rx_engine_.submit(
         costs_.nic_rx_processing,
         [this, packet = std::move(packet)]() mutable {
@@ -332,7 +342,8 @@ ViNic::onPacket(net::Packet packet)
                 handleControl(packet.src, *msg);
                 break;
             }
-        });
+        },
+        rx_key);
 }
 
 void
@@ -554,12 +565,17 @@ ViNic::handleRdmaReadReq(const WireMsg &msg)
         packet.src = port_;
         packet.dst = ep->remote_port_;
         packet.wire_bytes = frag_len + costs_.packet_header_bytes;
+        // Content key: the read's sink address identifies the
+        // transfer no matter what order requests arrived in.
+        packet.order_key = msg.read_dest;
         packet.payload = std::move(resp);
         packets_sent_.increment();
-        tx_engine_.submit(costs_.nic_tx_processing,
-                          [this, packet = std::move(packet)]() mutable {
-                              fabric_.send(std::move(packet));
-                          });
+        tx_engine_.submit(
+            costs_.nic_tx_processing,
+            [this, packet = std::move(packet)]() mutable {
+                fabric_.send(std::move(packet));
+            },
+            msg.read_dest);
         offset += frag_len;
     } while (offset < msg.total_len);
 }

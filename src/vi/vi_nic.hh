@@ -298,8 +298,10 @@ class ViNic
     void transmit(ViEndpoint &ep, const WorkDescriptor &desc,
                   WireMsg::Kind kind);
 
-    /** Sends a small control message (connect/disconnect family). */
-    void sendControl(net::PortId dst, WireMsg msg);
+    /** Sends a small control message (connect/disconnect family).
+     *  @p order_key orders it against same-tick transmit work. */
+    void sendControl(net::PortId dst, WireMsg msg,
+                     uint64_t order_key = 0);
 
     void onPacket(net::Packet packet);
 

@@ -90,6 +90,13 @@ struct WorkDescriptor
      * wire size the real serialized message would have.
      */
     std::shared_ptr<void> control;
+    /**
+     * Determinism arbitration key (DESIGN.md §8.3): orders this work
+     * against other work posted to the same NIC on the same tick.
+     * Derive it from message content (request offset, transfer tag),
+     * never from arrival order. Equal keys keep posting order.
+     */
+    uint64_t order_key = 0;
 };
 
 /** A completed work request, consumed from a completion queue. */

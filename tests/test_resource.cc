@@ -107,20 +107,10 @@ TEST(ServerPool, ResetStatsClearsWindow)
     EXPECT_EQ(pool.completedCount(), 0u);
 }
 
-TEST(Semaphore, TryAcquireRespectsCount)
-{
-    Semaphore sem(2);
-    EXPECT_TRUE(sem.tryAcquire());
-    EXPECT_TRUE(sem.tryAcquire());
-    EXPECT_FALSE(sem.tryAcquire());
-    sem.release();
-    EXPECT_TRUE(sem.tryAcquire());
-}
-
 TEST(Semaphore, AcquireBlocksUntilRelease)
 {
     Simulation sim;
-    Semaphore sem(1);
+    Semaphore sem(sim.queue(), 1);
     std::vector<int> order;
     auto worker = [](Simulation &s, Semaphore &sm,
                      std::vector<int> &out, int id) -> Task<> {
@@ -140,7 +130,7 @@ TEST(Semaphore, AcquireBlocksUntilRelease)
 TEST(Semaphore, ReleaseManyWakesFifo)
 {
     Simulation sim;
-    Semaphore sem(0);
+    Semaphore sem(sim.queue(), 0);
     std::vector<int> order;
     for (int i = 0; i < 4; ++i) {
         spawn([](Semaphore &sm, std::vector<int> &out, int id) -> Task<> {
@@ -151,10 +141,35 @@ TEST(Semaphore, ReleaseManyWakesFifo)
     sim.run();
     EXPECT_EQ(sem.waiterCount(), 4u);
     sem.release(2);
+    sim.run(); // grants land in the final band
     EXPECT_EQ(order, (std::vector<int>{0, 1}));
     sem.release(10);
+    sim.run();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
     EXPECT_EQ(sem.available(), 8);
+}
+
+// DESIGN.md §8.3: same-tick acquirers are granted in order_key
+// order, not park (arrival) order — the tie-shuffle may permute
+// arrival, so content keys must decide who gets a scarce count.
+TEST(Semaphore, SameTickGrantsFollowOrderKey)
+{
+    Simulation sim;
+    Semaphore sem(sim.queue(), 2);
+    std::vector<int> order;
+    // Park in descending-key order; grants must ascend by key.
+    for (int i = 3; i >= 0; --i) {
+        spawn([](Semaphore &sm, std::vector<int> &out, int id) -> Task<> {
+            co_await sm.acquire(static_cast<uint64_t>(id));
+            out.push_back(id);
+        }(sem, order, i));
+    }
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(sem.waiterCount(), 2u);
+    sem.release(2);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 } // namespace

@@ -1,0 +1,50 @@
+# Docs-drift guard, run by ctest as `docs_drift_guard`:
+#
+#   cmake -DREPO_ROOT=<repo> -P tools/docs_drift.cmake
+#
+# Every bench binary (bench/*.cc) must be mentioned by name in
+# EXPERIMENTS.md, so an experiment can't be added (or renamed)
+# without its documentation moving with it. Helper translation units
+# that are not benches of their own are listed in _helpers below.
+
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED REPO_ROOT)
+    message(FATAL_ERROR "docs_drift: pass -DREPO_ROOT=<repo root>")
+endif()
+
+set(_experiments "${REPO_ROOT}/EXPERIMENTS.md")
+if(NOT EXISTS "${_experiments}")
+    message(FATAL_ERROR "docs_drift: ${_experiments} is missing")
+endif()
+file(READ "${_experiments}" _doc)
+
+# Bench-directory sources that are shared infrastructure, not
+# experiments (no main(), or linked into several benches).
+set(_helpers micro_engine)
+
+file(GLOB _benches "${REPO_ROOT}/bench/*.cc")
+set(_missing "")
+foreach(_src IN LISTS _benches)
+    get_filename_component(_name "${_src}" NAME_WE)
+    if(_name IN_LIST _helpers)
+        continue()
+    endif()
+    string(FIND "${_doc}" "${_name}" _pos)
+    if(_pos EQUAL -1)
+        list(APPEND _missing "${_name}")
+    endif()
+endforeach()
+
+if(_missing)
+    list(JOIN _missing ", " _missing_list)
+    message(FATAL_ERROR
+        "docs_drift: bench(es) not documented in EXPERIMENTS.md: "
+        "${_missing_list}. Add an entry for each (name, figure/claim "
+        "it reproduces, how to run it).")
+endif()
+
+list(LENGTH _benches _count)
+message(STATUS
+    "docs_drift: all ${_count} bench sources documented in "
+    "EXPERIMENTS.md")
