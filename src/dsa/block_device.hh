@@ -46,6 +46,31 @@ class BlockDevice
     virtual sim::Task<bool> write(uint64_t offset, uint64_t len,
                                   sim::Addr buffer) = 0;
 
+    /** @name Tenant-tagged I/O (open-loop multiplexing)
+     * As read/write above, but stamps the request with the issuing
+     * tenant id so the server's admission gate can fair-queue by
+     * tenant (DESIGN.md §12). Devices that do not plumb the tag
+     * (local disk, mirrors) fall back to the untagged path; a shed
+     * request (IoStatus::Busy) surfaces as `false` here, like any
+     * other failed I/O.
+     * @{ */
+    virtual sim::Task<bool>
+    read(uint64_t offset, uint64_t len, sim::Addr buffer,
+         uint64_t tenant)
+    {
+        (void)tenant;
+        return read(offset, len, buffer);
+    }
+
+    virtual sim::Task<bool>
+    write(uint64_t offset, uint64_t len, sim::Addr buffer,
+          uint64_t tenant)
+    {
+        (void)tenant;
+        return write(offset, len, buffer);
+    }
+    /** @} */
+
     /** Device size in bytes. */
     virtual uint64_t capacity() const = 0;
 };
@@ -76,18 +101,33 @@ class StripedDevice : public BlockDevice
     sim::Task<bool>
     read(uint64_t offset, uint64_t len, sim::Addr buffer) override
     {
-        return run(offset, len, buffer, false);
+        return run(offset, len, buffer, false, 0);
     }
 
     sim::Task<bool>
     write(uint64_t offset, uint64_t len, sim::Addr buffer) override
     {
-        return run(offset, len, buffer, true);
+        return run(offset, len, buffer, true, 0);
+    }
+
+    sim::Task<bool>
+    read(uint64_t offset, uint64_t len, sim::Addr buffer,
+         uint64_t tenant) override
+    {
+        return run(offset, len, buffer, false, tenant);
+    }
+
+    sim::Task<bool>
+    write(uint64_t offset, uint64_t len, sim::Addr buffer,
+          uint64_t tenant) override
+    {
+        return run(offset, len, buffer, true, tenant);
     }
 
   private:
     sim::Task<bool>
-    run(uint64_t offset, uint64_t len, sim::Addr buffer, bool is_write)
+    run(uint64_t offset, uint64_t len, sim::Addr buffer, bool is_write,
+        uint64_t tenant)
     {
         if (offset + len > capacity())
             co_return false;
@@ -108,15 +148,17 @@ class StripedDevice : public BlockDevice
             group.add();
             sim::spawn([](BlockDevice *device, uint64_t off,
                           uint64_t n, sim::Addr buf, bool write_op,
-                          sim::WaitGroup &g, bool &ok) -> sim::Task<> {
+                          uint64_t who, sim::WaitGroup &g,
+                          bool &ok) -> sim::Task<> {
                 const bool result =
-                    write_op ? co_await device->write(off, n, buf)
-                             : co_await device->read(off, n, buf);
+                    write_op
+                        ? co_await device->write(off, n, buf, who)
+                        : co_await device->read(off, n, buf, who);
                 if (!result)
                     ok = false;
                 g.done();
             }(children_[child], child_off, chunk, buffer + done,
-              is_write, group, all_ok));
+              is_write, tenant, group, all_ok));
             done += chunk;
         }
         co_await group.wait();

@@ -77,6 +77,7 @@ DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
           metric_prefix_ + ".integrity_digest_mismatches")),
       integrity_errors_(node.sim().metrics().counter(
           metric_prefix_ + ".integrity_errors")),
+      busy_(node.sim().metrics().counter(metric_prefix_ + ".busy")),
       latency_(node.sim().metrics().sampler(metric_prefix_ +
                                             ".latency_ns")),
       latency_hist_(node.sim().metrics().histogram(metric_prefix_ +
@@ -386,6 +387,11 @@ DsaClient::onRdmaEvent(const vi::ViNic::RdmaEvent &event)
     }
     if (status == IoStatus::IntegrityError)
         integrity_errors_.increment();
+    if (status == IoStatus::Busy) {
+        // Deliberate shed by the server's admission gate: fail the
+        // I/O now. Retransmitting would re-feed the overload.
+        busy_.increment();
+    }
     io->ok = status == IoStatus::Ok;
     io->done = true;
     io->completion.set(io->ok);
@@ -394,13 +400,27 @@ DsaClient::onRdmaEvent(const vi::ViNic::RdmaEvent &event)
 sim::Task<bool>
 DsaClient::read(uint64_t offset, uint64_t len, sim::Addr buffer)
 {
-    return submit(false, offset, len, buffer);
+    return submit(false, offset, len, buffer, 0);
 }
 
 sim::Task<bool>
 DsaClient::write(uint64_t offset, uint64_t len, sim::Addr buffer)
 {
-    return submit(true, offset, len, buffer);
+    return submit(true, offset, len, buffer, 0);
+}
+
+sim::Task<bool>
+DsaClient::read(uint64_t offset, uint64_t len, sim::Addr buffer,
+                uint64_t tenant)
+{
+    return submit(false, offset, len, buffer, tenant);
+}
+
+sim::Task<bool>
+DsaClient::write(uint64_t offset, uint64_t len, sim::Addr buffer,
+                 uint64_t tenant)
+{
+    return submit(true, offset, len, buffer, tenant);
 }
 
 sim::Task<bool>
@@ -460,7 +480,7 @@ DsaClient::hint(HintKind kind, uint64_t offset, uint64_t len)
 
 sim::Task<bool>
 DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
-                  sim::Addr buffer)
+                  sim::Addr buffer, uint64_t tenant)
 {
     if (dead_)
         co_return false;
@@ -492,6 +512,7 @@ DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
     io.msg.len = static_cast<uint32_t>(len);
     io.msg.client_buffer = buffer;
     io.msg.staging_slot = staging_slot;
+    io.msg.tenant = tenant;
     io.msg.completion = mode_;
     io.msg.flag_addr =
         flag_base_ + static_cast<uint64_t>(io.flag_index) * 8;
@@ -840,6 +861,11 @@ DsaClient::completeFromResponse(CpuLease &lease,
     }
     if (status == IoStatus::IntegrityError)
         integrity_errors_.increment();
+    if (status == IoStatus::Busy) {
+        // Deliberate shed by the server's admission gate: fail the
+        // I/O now instead of retransmitting into the overload.
+        busy_.increment();
+    }
 
     io->done = true;
     io->ok = status == IoStatus::Ok;
@@ -1115,6 +1141,7 @@ DsaClient::resetStats()
     polled_completions_.reset();
     digest_mismatches_.reset();
     integrity_errors_.reset();
+    busy_.reset();
     latency_.reset();
     latency_hist_.reset();
 }

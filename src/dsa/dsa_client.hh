@@ -102,11 +102,17 @@ class DsaClient : public BlockDevice
      */
     sim::Task<bool> connect();
 
-    /** BlockDevice API. @{ */
+    /** BlockDevice API. The tenant-tagged overloads stamp the
+     *  request so the server's admission gate can fair-queue by
+     *  tenant (DESIGN.md §12); the untagged ones send tenant 0. @{ */
     sim::Task<bool> read(uint64_t offset, uint64_t len,
                          sim::Addr buffer) override;
     sim::Task<bool> write(uint64_t offset, uint64_t len,
                           sim::Addr buffer) override;
+    sim::Task<bool> read(uint64_t offset, uint64_t len,
+                         sim::Addr buffer, uint64_t tenant) override;
+    sim::Task<bool> write(uint64_t offset, uint64_t len,
+                          sim::Addr buffer, uint64_t tenant) override;
     uint64_t capacity() const override { return capacity_; }
     /** @} */
 
@@ -165,6 +171,10 @@ class DsaClient : public BlockDevice
     {
         return integrity_errors_.value();
     }
+    /** I/Os the server's admission gate refused with Busy. The
+     *  client fails them immediately (deliberate backpressure, not
+     *  loss — retransmitting would re-feed the overload). */
+    uint64_t busyCount() const { return busy_.value(); }
     /** End-to-end I/O latency (ns). */
     const sim::Sampler &latency() const { return latency_.raw(); }
     /** End-to-end I/O latency distribution (ns), for p50/p95/p99. */
@@ -204,7 +214,8 @@ class DsaClient : public BlockDevice
 
     /** Submits one request and waits for its completion. */
     sim::Task<bool> submit(bool is_write, uint64_t offset,
-                           uint64_t len, sim::Addr buffer);
+                           uint64_t len, sim::Addr buffer,
+                           uint64_t tenant);
 
     /** The implementation-specific issue-side path. */
     sim::Task<> issuePath(osmodel::CpuLease &lease, PendingIo &io);
@@ -334,6 +345,7 @@ class DsaClient : public BlockDevice
     sim::CounterHandle polled_completions_;
     sim::CounterHandle digest_mismatches_;
     sim::CounterHandle integrity_errors_;
+    sim::CounterHandle busy_;
     sim::SamplerHandle latency_;
     sim::HistogramHandle latency_hist_;
 };

@@ -24,6 +24,9 @@ flagValue(IoStatus status, uint32_t payload_digest)
       case IoStatus::IntegrityError:
         flag |= kFlagIntegrity;
         break;
+      case IoStatus::Busy:
+        flag |= kFlagBusy;
+        break;
     }
     return flag | (static_cast<uint64_t>(payload_digest) << 32);
 }
@@ -37,6 +40,8 @@ statusFromFlag(uint64_t flag)
         return IoStatus::BadDigest;
     if (flag & kFlagIntegrity)
         return IoStatus::IntegrityError;
+    if (flag & kFlagBusy)
+        return IoStatus::Busy;
     return IoStatus::Error;
 }
 
@@ -79,6 +84,7 @@ headerDigest(const RequestMsg &req)
     put(&req.volume, sizeof(req.volume));
     put(&req.offset, sizeof(req.offset));
     put(&req.len, sizeof(req.len));
+    put(&req.tenant, sizeof(req.tenant));
     put(&req.staging_slot, sizeof(req.staging_slot));
     const uint8_t hint = static_cast<uint8_t>(req.hint);
     put(&hint, sizeof(hint));

@@ -71,6 +71,13 @@ enum class IoStatus : uint8_t
      * help; only a redundant replica can.
      */
     IntegrityError,
+    /**
+     * The admission gate shed the request under overload (DESIGN.md
+     * §12). Deliberate backpressure, not loss: the client fails the
+     * I/O immediately instead of retransmitting, so the open-loop
+     * driver above can count it as shed and move on.
+     */
+    Busy,
 };
 
 /** How the server signals request completion to this client. */
@@ -122,6 +129,10 @@ struct RequestMsg
     uint32_t volume = 0;
     uint64_t offset = 0;
     uint32_t len = 0;
+
+    /** Originating tenant (open-loop multiplexing; 0 = untagged).
+     *  The server's admission gate fair-queues by this id. */
+    uint64_t tenant = 0;
 
     /** Read: RDMA target in client memory for the data. */
     sim::Addr client_buffer = sim::kNullAddr;
@@ -197,11 +208,13 @@ struct ServerMsg
 
 /** Value the server writes into a completion flag (RdmaFlag mode):
  *  low bit = done, next bit = ok; the two integrity bits distinguish
- *  the retryable digest failure from on-disk damage. */
+ *  the retryable digest failure from on-disk damage; the busy bit is
+ *  the admission gate's shed signal (fail fast, do not retransmit). */
 constexpr uint64_t kFlagDone = 1;
 constexpr uint64_t kFlagOk = 2;
 constexpr uint64_t kFlagIntegrity = 4;
 constexpr uint64_t kFlagBadDigest = 8;
+constexpr uint64_t kFlagBusy = 16;
 
 /** Flag word encoding @p status (always includes kFlagDone). The
  *  upper 32 bits carry @p payload_digest so RdmaFlag completions get

@@ -27,6 +27,7 @@ Initiator::Initiator(osmodel::Node &host, net::Fabric &fabric,
           metric_prefix_ + ".digest_retries")),
       errors_(host.sim().metrics().counter(metric_prefix_ +
                                            ".errors")),
+      busy_(host.sim().metrics().counter(metric_prefix_ + ".busy")),
       latency_(host.sim().metrics().sampler(metric_prefix_ +
                                             ".latency_ns")),
       latency_hist_(host.sim().metrics().histogram(
@@ -54,40 +55,61 @@ Initiator::connect(net::PortId target_port)
 sim::Task<bool>
 Initiator::read(uint64_t offset, uint64_t len, sim::Addr buffer)
 {
-    return io(false, offset, len, buffer);
+    return io(false, offset, len, buffer, 0);
 }
 
 sim::Task<bool>
 Initiator::write(uint64_t offset, uint64_t len, sim::Addr buffer)
 {
-    return io(true, offset, len, buffer);
+    return io(true, offset, len, buffer, 0);
+}
+
+sim::Task<bool>
+Initiator::read(uint64_t offset, uint64_t len, sim::Addr buffer,
+                uint64_t tenant)
+{
+    return io(false, offset, len, buffer, tenant);
+}
+
+sim::Task<bool>
+Initiator::write(uint64_t offset, uint64_t len, sim::Addr buffer,
+                 uint64_t tenant)
+{
+    return io(true, offset, len, buffer, tenant);
 }
 
 sim::Task<bool>
 Initiator::io(bool is_write, uint64_t offset, uint64_t len,
-              sim::Addr buffer)
+              sim::Addr buffer, uint64_t tenant)
 {
     co_await slots_.acquire(buffer);
     const sim::Tick start = host_.sim().now();
 
     bool ok = false;
+    ScsiStatus last = ScsiStatus::Good;
     for (uint32_t attempt = 0;
          attempt <= config_.max_digest_retries; ++attempt) {
         if (attempt > 0)
             digest_retries_.increment();
         const ScsiStatus status =
-            co_await issueOnce(is_write, offset, len, buffer);
+            co_await issueOnce(is_write, offset, len, buffer, tenant);
+        last = status;
         if (status == ScsiStatus::Good) {
             ok = true;
             break;
         }
-        // Only digest failures are retryable; CheckCondition and
-        // IntegrityError are definitive verdicts from the target.
+        // Only digest failures are retryable; CheckCondition,
+        // IntegrityError and Busy are definitive verdicts from the
+        // target (retrying a shed command would re-feed the
+        // overload the gate is bleeding off).
         if (status != ScsiStatus::DigestError)
             break;
     }
-    if (!ok)
+    if (!ok) {
+        if (last == ScsiStatus::Busy)
+            busy_.increment();
         errors_.increment();
+    }
 
     const double elapsed =
         static_cast<double>(host_.sim().now() - start);
@@ -101,7 +123,7 @@ Initiator::io(bool is_write, uint64_t offset, uint64_t len,
 
 sim::Task<ScsiStatus>
 Initiator::issueOnce(bool is_write, uint64_t offset, uint64_t len,
-                     sim::Addr buffer)
+                     sim::Addr buffer, uint64_t tenant)
 {
     Pending pending;
     pending.is_write = is_write;
@@ -133,6 +155,7 @@ Initiator::issueOnce(bool is_write, uint64_t offset, uint64_t len,
     pdu->volume = config_.volume;
     pdu->offset = offset;
     pdu->xfer_len = len;
+    pdu->tenant = tenant;
     if (is_write) {
         // Immediate data: a fresh copy of the user buffer every
         // attempt (the damage model mutates delivered vectors, so a

@@ -95,11 +95,18 @@ class Initiator : public dsa::BlockDevice
      *  reported a usable volume. Call before faults are armed. */
     sim::Task<bool> connect(net::PortId target_port);
 
-    /** @name dsa::BlockDevice @{ */
+    /** @name dsa::BlockDevice
+     * The tenant-tagged overloads stamp the command PDU so the
+     * target's admission gate can fair-queue by tenant (DESIGN.md
+     * §12); the untagged ones send tenant 0. @{ */
     sim::Task<bool> read(uint64_t offset, uint64_t len,
                          sim::Addr buffer) override;
     sim::Task<bool> write(uint64_t offset, uint64_t len,
                           sim::Addr buffer) override;
+    sim::Task<bool> read(uint64_t offset, uint64_t len,
+                         sim::Addr buffer, uint64_t tenant) override;
+    sim::Task<bool> write(uint64_t offset, uint64_t len,
+                          sim::Addr buffer, uint64_t tenant) override;
     uint64_t capacity() const override { return capacity_; }
     /** @} */
 
@@ -112,6 +119,9 @@ class Initiator : public dsa::BlockDevice
     }
     /** I/Os that ultimately failed (status or retries exhausted). */
     uint64_t errorCount() const { return errors_.value(); }
+    /** I/Os the target's admission gate refused with Busy. Failed
+     *  immediately, never retried (deliberate backpressure). */
+    uint64_t busyCount() const { return busy_.value(); }
     /** End-to-end I/O latency (ns). */
     const sim::Sampler &latency() const { return latency_.raw(); }
     /** End-to-end I/O latency distribution (ns). */
@@ -135,9 +145,10 @@ class Initiator : public dsa::BlockDevice
     };
 
     sim::Task<bool> io(bool is_write, uint64_t offset, uint64_t len,
-                       sim::Addr buffer);
+                       sim::Addr buffer, uint64_t tenant);
     sim::Task<ScsiStatus> issueOnce(bool is_write, uint64_t offset,
-                                    uint64_t len, sim::Addr buffer);
+                                    uint64_t len, sim::Addr buffer,
+                                    uint64_t tenant);
     sim::Task<> onPdu(std::shared_ptr<Pdu> pdu, bool tainted,
                       osmodel::CpuLease &lease);
 
@@ -165,6 +176,7 @@ class Initiator : public dsa::BlockDevice
     sim::CounterHandle ios_;
     sim::CounterHandle digest_retries_;
     sim::CounterHandle errors_;
+    sim::CounterHandle busy_;
     sim::SamplerHandle latency_;
     sim::HistogramHandle latency_hist_;
 };

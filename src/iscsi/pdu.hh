@@ -65,6 +65,8 @@ enum class ScsiStatus : uint8_t
     CheckCondition, ///< invalid LBA/range or device error
     DigestError,    ///< header/data digest mismatch — retryable
     IntegrityError, ///< verify-on-read found damaged platter data
+    Busy,           ///< shed by the target's admission gate (SCSI
+                    ///< TASK SET FULL); fail fast, do not retry
 };
 
 /**
@@ -83,6 +85,9 @@ struct Pdu
     uint32_t volume = 0;
     uint64_t offset = 0;   ///< byte offset on the target volume
     uint64_t xfer_len = 0; ///< requested transfer length
+    /** Issuing tenant id (open-loop multiplexing): the target's
+     *  admission gate fair-queues commands by this id. */
+    uint64_t tenant = 0;
 
     /** Data segment content; nullptr when the run is phantom (or the
      *  PDU has no data segment). Never re-sent after transmission —
@@ -132,6 +137,7 @@ pduHeaderDigest(const Pdu &pdu)
     put(&pdu.volume, sizeof(pdu.volume));
     put(&pdu.offset, sizeof(pdu.offset));
     put(&pdu.xfer_len, sizeof(pdu.xfer_len));
+    put(&pdu.tenant, sizeof(pdu.tenant));
     put(&pdu.data_len, sizeof(pdu.data_len));
     return util::crc32c(bhs, sizeof(bhs));
 }

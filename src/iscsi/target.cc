@@ -43,7 +43,8 @@ Target::Target(sim::Simulation &sim, net::Fabric &fabric,
       integrity_errors_(sim.metrics().counter(
           metric_prefix_ + ".integrity_verify_failures")),
       server_time_(
-          sim.metrics().sampler(metric_prefix_ + ".server_time_ns"))
+          sim.metrics().sampler(metric_prefix_ + ".server_time_ns")),
+      admission_gate_(sim, metric_prefix_, config_.admission)
 {
     if (config_.cache_bytes >= config_.block_size) {
         const uint64_t blocks =
@@ -83,10 +84,13 @@ sim::Task<>
 Target::handleCommand(std::shared_ptr<Pdu> cmd, bool tainted)
 {
     const sim::Tick arrival = sim_.now();
-    // Arbitration key: the command's byte offset — request content,
-    // never arrival order (DESIGN.md §8.3).
+    // Arbitration key: the initiator task tag — request content
+    // (assigned by the sequential initiator), and unlike the byte
+    // offset *unique* among in-flight commands on this session, as
+    // DESIGN.md §8.3 requires. Two concurrent commands for the same
+    // random offset would otherwise tie and fall back to park order.
     osmodel::CpuLease lease = co_await node_.cpus().acquire(
-        osmodel::CpuPool::kNormalPriority, cmd->offset);
+        osmodel::CpuPool::kNormalPriority, cmd->itt);
     // Wake the user-level daemon, then parse the PDU.
     const sim::Tick wake = node_.costs().context_switch;
     co_await lease.run(wake, CpuCat::Kernel);
@@ -131,6 +135,28 @@ Target::handleCommand(std::shared_ptr<Pdu> cmd, bool tainted)
         driver_.addCrcNs(dig);
     }
 
+    // Overload control (DESIGN.md §12): undamaged commands pass the
+    // same admission gate V3Server runs, holding no CPU while
+    // parked; a shed command is refused fast with Busy (SCSI TASK
+    // SET FULL) and the initiator fails it without retrying. The
+    // arbitration key is the initiator task tag: command content,
+    // unique among in-flight commands on this session.
+    bool gated = false;
+    if (config_.admission.enabled && !damaged) {
+        node_.cpus().release();
+        const bool admitted = co_await admission_gate_.admit(
+            cmd->tenant, cmd->xfer_len, cmd->itt);
+        lease = co_await node_.cpus().acquire(
+            osmodel::CpuPool::kNormalPriority, cmd->itt);
+        if (!admitted) {
+            co_await respond(lease, *cmd, ScsiStatus::Busy, nullptr,
+                             0);
+            node_.cpus().release();
+            co_return;
+        }
+        gated = true;
+    }
+
     ScsiStatus status;
     std::shared_ptr<std::vector<uint8_t>> data;
     disk::Volume *volume = volumes_.volume(cmd->volume);
@@ -158,6 +184,8 @@ Target::handleCommand(std::shared_ptr<Pdu> cmd, bool tainted)
     }
     server_time_.add(static_cast<double>(sim_.now() - arrival));
     node_.cpus().release();
+    if (gated)
+        admission_gate_.release();
 }
 
 sim::Task<ScsiStatus>
@@ -213,7 +241,7 @@ Target::doRead(osmodel::CpuLease &lease, const Pdu &cmd,
             const bool ok =
                 co_await volume->read(block_start, bs, mem, frame);
             lease = co_await node_.cpus().acquire(
-                osmodel::CpuPool::kNormalPriority, cmd.offset);
+                osmodel::CpuPool::kNormalPriority, cmd.itt);
 
             // Verify-on-read: damaged platter data must never enter
             // the cache or reach the initiator (same rule as
@@ -313,7 +341,7 @@ Target::doWrite(osmodel::CpuLease &lease, const Pdu &cmd)
     const bool ok = co_await volume->write(cmd.offset, cmd.xfer_len,
                                            mem, staging);
     lease = co_await node_.cpus().acquire(
-        osmodel::CpuPool::kNormalPriority, cmd.offset);
+        osmodel::CpuPool::kNormalPriority, cmd.itt);
     mem.free(staging);
     co_return ok ? ScsiStatus::Good : ScsiStatus::CheckCondition;
 }

@@ -79,6 +79,11 @@ struct TargetConfig
     /** Software CRC32C per KB (see InitiatorConfig::digest_per_kb). */
     sim::Tick digest_per_kb = sim::usecs(0.08);
     /** @} */
+
+    /** Overload control: the same admission gate V3Server embeds
+     *  (DESIGN.md §12), so overload comparisons isolate the
+     *  transport. Disabled by default. */
+    storage::AdmissionConfig admission;
 };
 
 /** One iSCSI storage node (single session: one initiator). */
@@ -115,6 +120,14 @@ class Target
     uint64_t integrityErrorCount() const
     {
         return integrity_errors_.value();
+    }
+    /** Commands refused with ScsiStatus::Busy by the admission gate
+     *  (config.admission; DESIGN.md §12). */
+    uint64_t shedCount() const { return admission_gate_.shedCount(); }
+    /** Commands that passed the gate. */
+    uint64_t admittedCount() const
+    {
+        return admission_gate_.admittedCount();
     }
     /** Target-resident time per command: dispatch to response. */
     const sim::Sampler &serverTime() const
@@ -162,6 +175,10 @@ class Target
     sim::CounterHandle digest_mismatches_;
     sim::CounterHandle integrity_errors_;
     sim::SamplerHandle server_time_;
+
+    /** Overload-control gate in front of the data path
+     *  (config_.admission; DESIGN.md §12). */
+    storage::AdmissionGate admission_gate_;
 };
 
 } // namespace v3sim::iscsi

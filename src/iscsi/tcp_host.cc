@@ -81,6 +81,17 @@ TcpHostDriver::drain(osmodel::CpuLease lease)
             }
             continue;
         }
+        // No packet in sight from this (normal-band) vantage point —
+        // but whether one lands later on this same tick is a
+        // tie-shuffled race, and the next decision (deliver a
+        // reassembled PDU, or re-arm and leave) must not hinge on it:
+        // the PDU copy charges CPU, so picking it before vs. after a
+        // same-tick arrival shifts every later timestamp. Re-take the
+        // decision from the tick's final band, where the full arrival
+        // set is known (DESIGN.md §8.3).
+        co_await node_.sim().queue().finalBand();
+        if (tcp_.rxPending())
+            continue;
         if (!delivered_.empty()) {
             Delivered d = std::move(delivered_.front());
             delivered_.pop_front();
@@ -91,13 +102,6 @@ TcpHostDriver::drain(osmodel::CpuLease lease)
             co_await deliver_(std::move(d.pdu), d.tainted, lease);
             continue;
         }
-        // The "nothing left" decision is re-taken from the tick's
-        // final band: whether a packet lands just before or just
-        // after the check above is a tie-shuffled race, and the
-        // interrupt count must not depend on it (DESIGN.md §8.3).
-        co_await node_.sim().queue().finalBand();
-        if (tcp_.rxPending() || !delivered_.empty())
-            continue;
         break;
     }
     // Re-arm last: packets that arrived while we were draining were

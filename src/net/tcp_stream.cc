@@ -203,6 +203,9 @@ TcpStream::handleAck(const Seg &seg, Work &work)
         uint64_t acked = seg.ack - snd_una_;
         snd_una_ = seg.ack;
         dupacks_ = 0;
+        // Forward progress: the peer is alive, so back-to-back
+        // timeout backoff (if any) resets to the base RTO.
+        rto_backoff_ = 0;
         for (uint64_t i = 0; i < acked; ++i) {
             if (cwnd_ < ssthresh_) {
                 ++cwnd_; // slow start: +1 per acked segment
@@ -322,11 +325,21 @@ TcpStream::onLossSignal()
     cwnd_acc_ = 0;
 }
 
+sim::Tick
+TcpStream::currentRto() const
+{
+    // Binary exponential backoff, saturating at max_rto. The shift
+    // count is bounded by the doubling guard in onRto(), so the shift
+    // itself cannot overflow.
+    sim::Tick rto = config_.rto << rto_backoff_;
+    return std::min(rto, std::max(config_.max_rto, config_.rto));
+}
+
 void
 TcpStream::armRto()
 {
-    rto_timer_ =
-        queue_.scheduleCancelable(config_.rto, [this] { onRto(); });
+    rto_timer_ = queue_.scheduleCancelable(currentRto(),
+                                           [this] { onRto(); });
 }
 
 void
@@ -334,6 +347,10 @@ TcpStream::onRto()
 {
     if (snd_una_ >= snd_nxt_)
         return;
+    // Each back-to-back timeout doubles the next timer (RFC 6298
+    // §5.5-5.7); a new cumulative ACK in handleAck resets it.
+    if (currentRto() < config_.max_rto)
+        ++rto_backoff_;
     onLossSignal();
     dupacks_ = 0;
     snd_nxt_ = snd_una_;

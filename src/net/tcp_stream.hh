@@ -45,14 +45,18 @@
  * Deliberate simplifications, documented here so the model's edges
  * are explicit: one connection per stream (every paper configuration
  * pairs one initiator with one target port); the handshake is not
- * retransmitted (connect before arming faults); RTO is a fixed
- * config.rto rather than an SRTT estimate (SAN round trips are tens
- * of microseconds and near-constant, so an estimator would converge
- * to a constant anyway — the real 200 ms minimum RTO would only
- * inflate recovery latency without changing host-overhead results);
- * and timer-driven retransmits charge no CPU (they exist only under
- * injected faults, where recovery latency, not overhead, is the
- * measured quantity).
+ * retransmitted (connect before arming faults); the base RTO is a
+ * fixed config.rto rather than an SRTT estimate (SAN round trips are
+ * tens of microseconds and near-constant, so an estimator would
+ * converge to a constant anyway — the real 200 ms minimum RTO would
+ * only inflate recovery latency without changing host-overhead
+ * results), though back-to-back timeouts do apply the standard
+ * binary exponential backoff, doubling the timeout up to
+ * config.max_rto and resetting on the next new cumulative ACK (RFC
+ * 6298 §5.5-5.7) — without it, sustained overload degenerates into a
+ * constant-rate retransmit storm; and timer-driven retransmits
+ * charge no CPU (they exist only under injected faults or overload,
+ * where recovery latency, not overhead, is the measured quantity).
  */
 
 #ifndef V3SIM_NET_TCP_STREAM_HH
@@ -98,9 +102,14 @@ struct TcpConfig
      *  (models the peer's advertised receive window). */
     uint32_t max_window = 256;
 
-    /** Fixed retransmission timeout (see file comment for why it is
+    /** Base retransmission timeout (see file comment for why it is
      *  not an SRTT estimator). */
     sim::Tick rto = sim::msecs(2);
+
+    /** Backoff ceiling: back-to-back timeouts double the effective
+     *  RTO from config.rto up to this cap; a new cumulative ACK
+     *  resets it to the base value. */
+    sim::Tick max_rto = sim::msecs(64);
 
     /** Duplicate ACKs that trigger fast retransmit. */
     uint32_t dupack_threshold = 3;
@@ -228,6 +237,9 @@ class TcpStream
     uint64_t sndUna() const { return snd_una_; }
     uint64_t sndNxt() const { return snd_nxt_; }
     uint64_t retransmitCount() const { return retransmits_.value(); }
+    /** Effective RTO the next armed timer will use (base RTO doubled
+     *  per back-to-back timeout, capped at max_rto). */
+    sim::Tick currentRto() const;
     uint64_t segsSent() const { return segs_tx_.value(); }
     uint64_t acksSent() const { return acks_tx_.value(); }
     uint64_t acksReceived() const { return acks_rx_.value(); }
@@ -299,6 +311,9 @@ class TcpStream
     uint32_t ssthresh_;
     uint32_t cwnd_acc_ = 0;    ///< Congestion-avoidance accumulator.
     uint32_t dupacks_ = 0;
+    /** Back-to-back timeout count since the last new cumulative ACK;
+     *  each one doubles the effective RTO (capped at max_rto). */
+    uint32_t rto_backoff_ = 0;
     sim::EventQueue::Handle rto_timer_;
 
     // Receive state.

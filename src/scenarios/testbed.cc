@@ -134,6 +134,7 @@ Testbed::Testbed(Backend backend, HostParams host_params,
                 storage_params_.cache_bytes_per_node;
             target_config.cache_policy = storage_params_.cache_policy;
             target_config.phantom_memory = host_params.phantom_memory;
+            target_config.admission = storage_params_.admission;
             auto target = std::make_unique<iscsi::Target>(
                 sim_, fabric_, target_config);
             auto disks = target->diskManager().addDisks(
@@ -176,6 +177,7 @@ Testbed::Testbed(Backend backend, HostParams host_params,
             storage_params_.request_credits;
         server_config.staging_slots = storage_params_.staging_slots;
         server_config.phantom_memory = host_params.phantom_memory;
+        server_config.admission = storage_params_.admission;
         auto server = std::make_unique<storage::V3Server>(
             sim_, fabric_, server_config);
         auto disks = server->diskManager().addDisks(

@@ -99,6 +99,10 @@ struct StorageParams
     bool mirrored = false;
     dsa::MirrorConfig mirror;
 
+    /** Overload control at every storage node (V3 servers and iSCSI
+     *  targets alike; DESIGN.md §12). Disabled by default. */
+    storage::AdmissionConfig admission;
+
     /** Mid-size: 4 nodes x 15 SCSI disks, 1.6 GB cache per node
      *  (scaled by kTpccScale). */
     static StorageParams midSize();

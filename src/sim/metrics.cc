@@ -193,6 +193,7 @@ MetricRegistry::snapshot() const
             v.p50 = h.quantile(0.50);
             v.p95 = h.quantile(0.95);
             v.p99 = h.quantile(0.99);
+            v.p999 = h.quantile(0.999);
             break;
           }
           case MetricKind::TimeWeighted: {
@@ -274,6 +275,7 @@ MetricRegistry::toJson(const Snapshot &snap)
             w.key("p50").value(v.p50);
             w.key("p95").value(v.p95);
             w.key("p99").value(v.p99);
+            w.key("p999").value(v.p999);
             break;
           case MetricKind::TimeWeighted:
             w.key("value").value(v.value);

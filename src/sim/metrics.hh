@@ -241,7 +241,7 @@ class MetricRegistry
         uint64_t count = 0; ///< counter value / sample count
         double value = 0;   ///< gauge value / time-weighted current
         double sum = 0, mean = 0, min = 0, max = 0, stddev = 0;
-        double p50 = 0, p95 = 0, p99 = 0; ///< histogram quantiles
+        double p50 = 0, p95 = 0, p99 = 0, p999 = 0; ///< histogram quantiles
         double average = 0;               ///< time-weighted average
     };
 

@@ -1,0 +1,84 @@
+#include "admission.hh"
+
+#include <algorithm>
+
+namespace v3sim::storage
+{
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config)
+    : config_(config)
+{
+    config_.drr_quantum = std::max<uint64_t>(config_.drr_quantum, 1);
+}
+
+AdmissionQueue::Decision
+AdmissionQueue::offer(uint64_t tenant, uint64_t cost, uint64_t token)
+{
+    // A free slot is taken directly only when no one is waiting:
+    // otherwise a late arrival would overtake the backlog the DRR
+    // scheduler owns.
+    if (queued_ == 0 && in_service_ < config_.service_slots) {
+        ++in_service_;
+        return Decision::Admit;
+    }
+    if (queued_ >= config_.max_queue_depth)
+        return Decision::Shed;
+    tenants_[tenant].items.push_back(Item{cost, token});
+    ++queued_;
+    return Decision::Queue;
+}
+
+std::optional<uint64_t>
+AdmissionQueue::next()
+{
+    if (in_service_ >= config_.service_slots || queued_ == 0)
+        return std::nullopt;
+    // DRR scan: serve the cursor tenant while its deficit covers its
+    // head request; otherwise top the deficit up by one quantum and
+    // advance. Terminates: every unsuccessful visit adds a quantum,
+    // so some backlogged tenant's deficit eventually covers its head.
+    for (;;) {
+        auto it = tenants_.lower_bound(cursor_);
+        if (it == tenants_.end())
+            it = tenants_.begin();
+        TenantQ &tq = it->second;
+        if (tq.deficit >= tq.items.front().cost) {
+            tq.deficit -= tq.items.front().cost;
+            const uint64_t token = tq.items.front().token;
+            tq.items.pop_front();
+            --queued_;
+            ++in_service_;
+            if (tq.items.empty()) {
+                // Idle flows keep no credit (classic DRR); the
+                // cursor moves past the vacated ring position.
+                cursor_ = it->first + 1;
+                tenants_.erase(it);
+            } else {
+                // Stay on this tenant: remaining deficit is spent
+                // before the ring advances.
+                cursor_ = it->first;
+            }
+            return token;
+        }
+        tq.deficit += config_.drr_quantum;
+        cursor_ = it->first + 1;
+    }
+}
+
+void
+AdmissionQueue::release()
+{
+    if (in_service_ > 0)
+        --in_service_;
+}
+
+void
+AdmissionQueue::reset()
+{
+    tenants_.clear();
+    cursor_ = 0;
+    queued_ = 0;
+    in_service_ = 0;
+}
+
+} // namespace v3sim::storage

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Overload control for the V3 request manager (DESIGN.md §12): a
+ * bounded admission queue with per-tenant deficit-round-robin fair
+ * queueing.
+ *
+ * The paper drives V3 with closed-loop OLTP workers, where offered
+ * load self-limits. An open-loop tenant population does not: past
+ * saturation, arrivals outpace service no matter how long the queue
+ * grows, and an unbounded queue converts overload into unbounded
+ * latency (and, through client retransmissions, into extra work —
+ * congestion collapse). The admission gate makes the server shed the
+ * excess instead: a fixed number of service slots bounds concurrency
+ * inside the data path, a bounded queue absorbs bursts, and anything
+ * beyond the bound is refused immediately with IoStatus::Busy so the
+ * client fails fast rather than retransmitting.
+ *
+ * Fairness between tenants is deficit round robin (Shreedhar &
+ * Varghese): each backlogged tenant holds a byte deficit, topped up
+ * by a fixed quantum per scheduling visit, and may dispatch requests
+ * while its deficit covers their cost. An aggressive tenant can fill
+ * the queue bound, but cannot starve others of service slots: shares
+ * converge to quantum-proportional regardless of arrival mix.
+ *
+ * This class is a *pure* data structure — no simulated time, no
+ * coroutines, no randomness — so its invariants (depth bound,
+ * exactly-once disposition, share convergence) are directly property-
+ * testable. V3Server supplies the determinism discipline around it:
+ * all offer()/next() calls happen in final-band passes over
+ * contender sets ordered by content keys (DESIGN.md §8.3).
+ */
+
+#ifndef V3SIM_STORAGE_ADMISSION_HH
+#define V3SIM_STORAGE_ADMISSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace v3sim::storage
+{
+
+/** Admission-gate knobs (V3ServerConfig::admission). */
+struct AdmissionConfig
+{
+    /** Master switch. Off by default: closed-loop experiments keep
+     *  the paper's ungated pipeline (and their artifacts unchanged). */
+    bool enabled = false;
+
+    /** Requests concurrently inside the data path. Beyond this,
+     *  arrivals queue. Bounds the server's internal concurrency the
+     *  way request credits bound one connection's. */
+    uint32_t service_slots = 24;
+
+    /** Total queued (admitted-but-waiting) requests across all
+     *  tenants. Arrivals beyond this are shed with IoStatus::Busy. */
+    uint32_t max_queue_depth = 256;
+
+    /** DRR byte quantum added to a backlogged tenant's deficit per
+     *  scheduling visit. Must cover the largest request or a big
+     *  request could starve its own tenant; clamped up to 1. */
+    uint64_t drr_quantum = 128 * 1024;
+};
+
+/**
+ * The gate itself: bounded FIFO-per-tenant queue, DRR across
+ * tenants, fixed service slots. Tokens are caller-chosen request
+ * identities; every token offered is disposed of exactly once —
+ * returned as Admit/Shed from offer(), or later from next().
+ */
+class AdmissionQueue
+{
+  public:
+    enum class Decision : uint8_t
+    {
+        Admit, ///< a service slot was free; proceed now
+        Queue, ///< queued; the token will come back from next()
+        Shed,  ///< queue bound hit; refuse with Busy
+    };
+
+    explicit AdmissionQueue(AdmissionConfig config);
+
+    /**
+     * One arrival of @p cost bytes from @p tenant. Takes a service
+     * slot immediately when nothing is queued and a slot is free;
+     * otherwise queues behind the tenant's backlog, or sheds at the
+     * depth bound.
+     */
+    Decision offer(uint64_t tenant, uint64_t cost, uint64_t token);
+
+    /**
+     * Dispatches the next queued request into a free service slot,
+     * chosen by DRR across backlogged tenants. Returns nothing when
+     * slots are full or the queue is empty. Call repeatedly to fill
+     * all free slots.
+     */
+    std::optional<uint64_t> next();
+
+    /** A request dispatched earlier left the data path: frees its
+     *  service slot. No-op at zero (crash() resets the gate while
+     *  in-flight handlers still unwind). */
+    void release();
+
+    /** Drops all queued entries and zeroes slots/deficits (node
+     *  crash: the waiters are woken as shed by the caller). */
+    void reset();
+
+    /** @name Introspection (tests, metrics) @{ */
+    uint32_t queuedCount() const { return queued_; }
+    uint32_t inServiceCount() const { return in_service_; }
+    uint32_t
+    queuedForTenant(uint64_t tenant) const
+    {
+        const auto it = tenants_.find(tenant);
+        return it == tenants_.end()
+                   ? 0
+                   : static_cast<uint32_t>(it->second.items.size());
+    }
+    const AdmissionConfig &config() const { return config_; }
+    /** @} */
+
+  private:
+    struct Item
+    {
+        uint64_t cost = 0;
+        uint64_t token = 0;
+    };
+
+    /** One backlogged tenant; erased when its queue drains (DRR
+     *  resets an idle flow's deficit — no credit hoarding). */
+    struct TenantQ
+    {
+        std::deque<Item> items;
+        uint64_t deficit = 0;
+    };
+
+    AdmissionConfig config_;
+    /** Backlogged tenants, ordered by id: the DRR ring. Ordered
+     *  iteration keeps the scan deterministic (DESIGN.md §8). */
+    std::map<uint64_t, TenantQ> tenants_;
+    /** DRR cursor: the ring position (tenant id) the next scan
+     *  resumes from, via lower_bound. */
+    uint64_t cursor_ = 0;
+    uint32_t queued_ = 0;
+    uint32_t in_service_ = 0;
+};
+
+} // namespace v3sim::storage
+
+#endif // V3SIM_STORAGE_ADMISSION_HH

@@ -80,7 +80,8 @@ V3Server::V3Server(sim::Simulation &sim, net::Fabric &fabric,
       integrity_errors_(sim.metrics().counter(
           metric_prefix_ + ".integrity_verify_failures")),
       server_time_(
-          sim.metrics().sampler(metric_prefix_ + ".server_time_ns"))
+          sim.metrics().sampler(metric_prefix_ + ".server_time_ns")),
+      admission_gate_(sim, metric_prefix_, config_.admission)
 {
     // The server manages its own NIC registration: the cache, the
     // staging areas and the message buffers are registered once at
@@ -159,6 +160,11 @@ V3Server::crash()
     // their requests can no longer complete towards any client.
     if (cache_)
         cache_->invalidateAll();
+
+    // Admission waiters park off-CPU, so nothing above woke them:
+    // shed them all (their Busy completions are dropped because the
+    // connections are already dead) and zero the gate.
+    admission_gate_.shedAll();
 }
 
 void
@@ -380,6 +386,36 @@ V3Server::handleRequest(Connection &conn, dsa::RequestMsg req,
     }
     conn.seqs[req.seq] = Connection::SeqState::InProgress;
 
+    // Overload control (DESIGN.md §12): data-path requests pass the
+    // admission gate; hints stay ungated (advisory and cheap, they
+    // never hold a service slot). The request is already recorded
+    // InProgress above, so a retransmission arriving while the
+    // original is parked in the gate is absorbed by the dedup filter
+    // instead of queueing twice. The wait itself parks off-CPU: a
+    // queued backlog must not pin the request-manager CPUs and
+    // starve the in-service requests that would drain it.
+    bool gated = false;
+    if (config_.admission.enabled && req.op != dsa::DsaOp::Hint) {
+        node_.cpus().release();
+        const bool admitted = co_await admission_gate_.admit(
+            req.tenant, req.len, orderKey(conn.staging_base, req.seq));
+        lease = co_await node_.cpus().acquire(
+            osmodel::CpuPool::kNormalPriority,
+            orderKey(conn.staging_base, req.offset));
+        if (!admitted) {
+            // Shed: refuse fast with Busy, and forget the sequence —
+            // like BadDigest, a future retransmission must re-enter
+            // the gate rather than replay this refusal.
+            conn.seqs.erase(req.seq);
+            co_await lease.run(config_.complete_cost, CpuCat::Other);
+            postCompletion(conn, req, dsa::IoStatus::Busy);
+            repostRecv(conn, recv_cookie);
+            node_.cpus().release();
+            co_return;
+        }
+        gated = true;
+    }
+
     dsa::IoStatus status = dsa::IoStatus::Error;
     uint32_t payload_digest = 0;
     bool digest_valid = false;
@@ -409,6 +445,8 @@ V3Server::handleRequest(Connection &conn, dsa::RequestMsg req,
     server_time_.add(static_cast<double>(sim_.now() - arrival));
     repostRecv(conn, recv_cookie);
     node_.cpus().release();
+    if (gated)
+        admission_gate_.release();
 }
 
 sim::Task<>
@@ -934,6 +972,7 @@ V3Server::resetStats()
     bad_requests_.reset();
     digest_mismatches_.reset();
     integrity_errors_.reset();
+    admission_gate_.resetStats();
     server_time_.reset();
     if (cache_)
         cache_->resetStats();

@@ -63,6 +63,7 @@
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
+#include "storage/admission_gate.hh"
 #include "storage/block_cache.hh"
 #include "storage/disk_manager.hh"
 #include "storage/mq_cache.hh"
@@ -124,6 +125,12 @@ struct V3ServerConfig
      *  and real-memory runs alike; see dsa::payloadDigest. */
     sim::Tick digest_per_kb = sim::usecs(0.04);
     /** @} */
+
+    /** Overload control: bounded admission queue + per-tenant DRR
+     *  fair queueing in front of the data path (DESIGN.md §12).
+     *  Disabled by default — the paper's closed-loop experiments run
+     *  the ungated pipeline. */
+    AdmissionConfig admission;
 };
 
 /** One V3 storage node. */
@@ -191,6 +198,23 @@ class V3Server : public vi::NodeFaultTarget
     {
         return integrity_errors_.value();
     }
+
+    /** @name Admission gate (config.admission; DESIGN.md §12) @{ */
+    /** Requests refused with IoStatus::Busy at the queue bound. */
+    uint64_t shedCount() const { return admission_gate_.shedCount(); }
+    /** Requests that waited in the admission queue. */
+    uint64_t
+    admissionQueuedCount() const
+    {
+        return admission_gate_.queuedCount();
+    }
+    /** Requests that passed the gate (directly or via the queue). */
+    uint64_t
+    admittedCount() const
+    {
+        return admission_gate_.admittedCount();
+    }
+    /** @} */
 
     /** Server-resident time per request: arrival at the request
      *  manager to completion post (the Figure 4 "V3 Storage Server"
@@ -347,6 +371,11 @@ class V3Server : public vi::NodeFaultTarget
     sim::CounterHandle digest_mismatches_;
     sim::CounterHandle integrity_errors_;
     sim::SamplerHandle server_time_;
+
+    /** Overload-control gate in front of the data path
+     *  (config_.admission; DESIGN.md §12). Declared after
+     *  metric_prefix_: it registers its own metrics under it. */
+    AdmissionGate admission_gate_;
 };
 
 } // namespace v3sim::storage

@@ -142,10 +142,19 @@ TEST(MetricRegistry, ToJsonParses)
     registry.sampler("client.local.latency_ns").add(123.0);
     registry.gauge("server.v3_0.cache.hit_ratio",
                    [] { return 0.5; });
+    // simlint:allow(metric-handle: one-shot test setup, not a hot path)
+    registry.histogram("client.local.latency_hist_ns").add(100.0);
 
     const auto doc = util::JsonValue::parse(registry.toJson());
     ASSERT_TRUE(doc.has_value());
     ASSERT_TRUE(doc->isObject());
+    // Histograms export the full tail ladder, p99.9 included.
+    const util::JsonValue *hist =
+        doc->find("client.local.latency_hist_ns");
+    ASSERT_NE(hist, nullptr);
+    const util::JsonValue *p999 = hist->find("p999");
+    ASSERT_NE(p999, nullptr);
+    EXPECT_DOUBLE_EQ(p999->number, 96.0); // [64,128) midpoint
     const util::JsonValue *sent = doc->find("nic.0.packets_sent");
     ASSERT_NE(sent, nullptr);
     const util::JsonValue *count = sent->find("count");

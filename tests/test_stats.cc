@@ -72,6 +72,32 @@ TEST(Histogram, SingleValueQuantile)
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 96.0);
 }
 
+TEST(Histogram, TailQuantileAtSparseCounts)
+{
+    // The p99.9 export must follow the same order-statistic rule as
+    // the other quantiles: target index floor(q * (count - 1)), not
+    // "the max once any outlier exists". At 10 samples one outlier
+    // is 10% of the population — far above the 0.1% tail — yet the
+    // target index (floor(0.999 * 9) = 8) still lands in the body.
+    Histogram sparse;
+    for (int i = 0; i < 9; ++i)
+        sparse.add(10.0); // bucket [8, 16), midpoint 12
+    sparse.add(1000.0);   // bucket [512, 1024), midpoint 768
+    EXPECT_DOUBLE_EQ(sparse.quantile(0.999), 12.0);
+    EXPECT_DOUBLE_EQ(sparse.quantile(1.0), 768.0);
+
+    // At 1000 samples, two outliers are 0.2% of the population:
+    // p99 (target 989) stays in the body, p99.9 (target 998) must
+    // resolve to the outlier bucket.
+    Histogram dense;
+    for (int i = 0; i < 998; ++i)
+        dense.add(10.0);
+    dense.add(1.0e6); // bucket [2^19, 2^20), midpoint 786432
+    dense.add(1.0e6);
+    EXPECT_DOUBLE_EQ(dense.quantile(0.99), 12.0);
+    EXPECT_DOUBLE_EQ(dense.quantile(0.999), 786432.0);
+}
+
 TEST(Histogram, EmptyQuantileIsZero)
 {
     Histogram h;
