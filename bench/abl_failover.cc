@@ -21,6 +21,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "scenarios/testbed.hh"
@@ -48,6 +50,14 @@ int
 main(int argc, char **argv)
 {
     util::BenchReporter reporter("abl_failover", argc, argv);
+
+    // Determinism harness hook: the run must be byte-identical for
+    // any tie-shuffle seed (DESIGN.md §8).
+    uint64_t tie_seed = 1;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--tie-seed") == 0)
+            tie_seed = std::strtoull(argv[i + 1], nullptr, 0);
+    }
 
     const RunTimes times =
         reporter.quick()
@@ -82,6 +92,7 @@ main(int argc, char **argv)
 
     Testbed bed(Backend::Cdsa, host_params, storage_params,
                 dsa_config, /*seed=*/7);
+    bed.sim().queue().setTieShuffle(tie_seed);
     if (!bed.connectAll()) {
         std::fprintf(stderr, "abl_failover: connect failed\n");
         return 1;
@@ -140,6 +151,10 @@ main(int argc, char **argv)
                 static_cast<sim::Tick>(b + 1) * t.bucket - 1;
             if (when > s.now())
                 co_await s.sleep(when - s.now());
+            // Sample in the final band: mirror state changes landing
+            // in this same tick are then always observed, not raced
+            // against under tie-shuffle (DESIGN.md §8.3).
+            co_await s.queue().finalBand();
             active[b] = m.activeReplicas();
             dirty[b] = m.dirtyBytes();
         }
@@ -151,6 +166,9 @@ main(int argc, char **argv)
                   sim::Tick &readmit) -> sim::Task<> {
         while (s.now() < t.end) {
             co_await s.sleep(sim::msecs(1));
+            // Final band for the same reason as the bucket sampler:
+            // a failover in this exact tick must not be a coin flip.
+            co_await s.queue().finalBand();
             if (failover == 0 && m.degraded())
                 failover = s.now();
             if (failover != 0 && readmit == 0 &&

@@ -67,6 +67,8 @@ DsaClient::DsaClient(DsaImpl impl, osmodel::Node &node, vi::ViNic &nic,
                                                 ".retransmits")),
       reconnects_(node.sim().metrics().counter(metric_prefix_ +
                                                ".reconnects")),
+      abandoned_reconnects_(node.sim().metrics().counter(
+          metric_prefix_ + ".abandoned_reconnects")),
       revives_(node.sim().metrics().counter(metric_prefix_ +
                                             ".revives")),
       intr_completions_(node.sim().metrics().counter(
@@ -182,14 +184,17 @@ DsaClient::revive()
     if (reconnecting_)
         co_return false; // automatic reconnection still in progress
     // One attempt per call: the prober retries on its own schedule,
-    // so a dead server just means this probe fails cheaply.
-    dead_ = false;
+    // so a dead server just means this probe fails cheaply. dead_
+    // stays set until the connection is actually up: clearing it
+    // before establish() would open a window in which submit() puts
+    // fresh I/O into pending_ with nobody left to fail it if the
+    // probe loses the race (give-up already ran, and the retransmit
+    // timer treats a dead client as terminal).
     const bool ok = co_await establish();
     if (ok) {
+        dead_ = false;
         ready_ = true;
         revives_.increment();
-    } else {
-        dead_ = true;
     }
     co_return ok;
 }
@@ -487,11 +492,24 @@ DsaClient::submit(bool is_write, uint64_t offset, uint64_t len,
 
     // Flow control gates first, holding no CPU; keyed by the I/O
     // buffer so saturated-credit grants stay content-ordered
-    // (DESIGN.md §8.3).
+    // (DESIGN.md §8.3). Re-check dead_ after every wait: an I/O
+    // parked here while the reconnect ladder gives up would
+    // otherwise proceed onto the dead connection, where nothing can
+    // ever complete it (the give-up path fails only I/Os already in
+    // pending_, and the retransmit timer no-ops once dead_ is set).
     co_await credits_->acquire(buffer);
+    if (dead_) {
+        credits_->release();
+        co_return false;
+    }
     uint32_t staging_slot = UINT32_MAX;
     if (is_write) {
         co_await staging_sem_->acquire(buffer);
+        if (dead_) {
+            staging_sem_->release();
+            credits_->release();
+            co_return false;
+        }
         staging_slot = free_staging_.back();
         free_staging_.pop_back();
     }
@@ -1035,8 +1053,18 @@ DsaClient::retransmit(uint64_t io_id)
         co_return;
     PendingIo *io = it->second;
 
-    if (dead_)
+    if (dead_) {
+        // The client died while this I/O was outstanding. The
+        // give-up sweep normally failed it already, but an I/O that
+        // slipped into pending_ between death and a later revive
+        // would otherwise hang forever (nothing completes I/O on a
+        // dead connection); fail it here so its timer is the
+        // backstop.
+        io->done = true;
+        io->ok = false;
+        io->completion.set(false);
         co_return;
+    }
     if (reconnecting_) {
         scheduleRetransmit(*io);
         co_return;
@@ -1085,6 +1113,7 @@ DsaClient::reconnect()
                 << dsaImplName(impl_)
                 << ": giving up after " << attempts
                 << " reconnect attempts";
+            abandoned_reconnects_.increment();
             dead_ = true;
             reconnecting_ = false;
             std::vector<PendingIo *> doomed;
@@ -1136,6 +1165,7 @@ DsaClient::resetStats()
     ios_.reset();
     retransmits_.reset();
     reconnects_.reset();
+    abandoned_reconnects_.reset();
     revives_.reset();
     intr_completions_.reset();
     polled_completions_.reset();

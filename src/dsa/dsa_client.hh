@@ -145,6 +145,14 @@ class DsaClient : public BlockDevice
     uint64_t ioCount() const { return ios_.value(); }
     uint64_t retransmitCount() const { return retransmits_.value(); }
     uint64_t reconnectCount() const { return reconnects_.value(); }
+    /** Reconnection ladders that exhausted max_reconnect_attempts
+     *  and declared the volume dead (the failover trigger upstream
+     *  layers — MirroredDevice, the cluster directory — key on). */
+    uint64_t
+    abandonedReconnectCount() const
+    {
+        return abandoned_reconnects_.value();
+    }
     /** Successful post-death revivals (resync probes that landed). */
     uint64_t reviveCount() const { return revives_.value(); }
     /** Interrupt-path completions (vs polled). */
@@ -340,6 +348,7 @@ class DsaClient : public BlockDevice
     sim::CounterHandle ios_;
     sim::CounterHandle retransmits_;
     sim::CounterHandle reconnects_;
+    sim::CounterHandle abandoned_reconnects_;
     sim::CounterHandle revives_;
     sim::CounterHandle intr_completions_;
     sim::CounterHandle polled_completions_;

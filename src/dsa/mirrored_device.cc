@@ -108,6 +108,15 @@ MirroredDevice::degraded() const
 }
 
 uint64_t
+MirroredDevice::legDirtyBytes(size_t idx) const
+{
+    uint64_t total = 0;
+    for (const auto &[offset, len] : replicas_[idx].dirty)
+        total += len;
+    return total;
+}
+
+uint64_t
 MirroredDevice::dirtyBytes() const
 {
     uint64_t total = 0;
@@ -129,6 +138,53 @@ MirroredDevice::pickReader()
         }
     }
     return replicas_.size();
+}
+
+size_t
+MirroredDevice::fallbackSource(size_t idx) const
+{
+    // Double fault: every leg is failed out, so pickReader() has no
+    // source and naively both resync tasks would wait on each other
+    // forever. A failed leg that failed *strictly later* than this
+    // one is still a safe source: while no leg is active no write can
+    // commit (the write path fails fast), so the latest-failed leg
+    // holds every write committed before the mirror went dark, and
+    // its own dirty regions are only residue of writes that were
+    // *reported failed* — copying either their old or new content is
+    // within the contract for an unacknowledged write. Ties (legs
+    // failed in the same tick both hold all committed data) break by
+    // replica index — a content key, so the choice is tie-shuffle
+    // invariant. The earliest-failed leg therefore drains first,
+    // readmits, and becomes an ordinary active source for the rest.
+    const Replica &mine = replicas_[idx];
+    size_t best = replicas_.size();
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+        if (i == idx)
+            continue;
+        const Replica &cand = replicas_[i];
+        if (cand.active || cand.inflight_missing > 0 ||
+            !cand.replaying.empty()) {
+            continue;
+        }
+        if (cand.failed_at < mine.failed_at ||
+            (cand.failed_at == mine.failed_at && i > idx)) {
+            continue; // not strictly later in (failed_at, idx) order
+        }
+        if (best == replicas_.size() ||
+            cand.failed_at > replicas_[best].failed_at ||
+            (cand.failed_at == replicas_[best].failed_at &&
+             i < best)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+MirroredDevice::failLeg(size_t idx)
+{
+    assert(idx < replicas_.size());
+    failReplica(idx);
 }
 
 sim::Task<bool>
@@ -296,6 +352,7 @@ MirroredDevice::failReplica(size_t idx)
     if (!replica.active)
         return;
     replica.active = false;
+    replica.failed_at = sim_.now();
     failovers_.increment();
     degraded_replicas_.set(
         sim_.now(),
@@ -418,12 +475,19 @@ MirroredDevice::resyncTask(size_t idx)
     Replica &replica = replicas_[idx];
     for (;;) {
         // Probe phase: wait for the node to answer a fresh
-        // connection attempt.
+        // connection attempt. Failed probes back off
+        // binary-exponentially up to probe_max_interval so a node
+        // that stays down costs geometrically fewer reconnection
+        // attempts; the delay is re-initialized per outage, which is
+        // the "reset on success" half of the RTO rule.
         const sim::Tick down_since = sim_.now();
+        sim::Tick probe_delay = config_.probe_interval;
         for (;;) {
-            co_await sim_.sleep(config_.probe_interval);
+            co_await sim_.sleep(probe_delay);
             if (co_await replica.leg.revive())
                 break;
+            probe_delay = std::min(probe_delay * 2,
+                                   config_.probe_max_interval);
         }
         resyncs_.increment();
         // Catch-up: from here on, new writes are duplicated to this
@@ -469,9 +533,11 @@ MirroredDevice::resyncTask(size_t idx)
                     batch.push_back(Piece{off, len});
                 }
 
-                const size_t src = pickReader();
+                size_t src = pickReader();
+                if (src == replicas_.size())
+                    src = fallbackSource(idx);
                 if (src == replicas_.size()) {
-                    // No surviving source right now; put the regions
+                    // No usable source right now; put the regions
                     // back and wait for one.
                     for (const Piece &piece : batch)
                         logDirty(replica, piece.off, piece.len);
@@ -511,9 +577,11 @@ MirroredDevice::resyncTask(size_t idx)
 
                 for (const Piece &piece : batch)
                     replica.replaying.erase(piece.off);
+                bool progressed = false;
                 for (size_t p = 0; p < batch.size(); ++p) {
                     if (result[p] == kOk) {
                         resync_bytes_.increment(batch[p].len);
+                        progressed = true;
                         continue;
                     }
                     logDirty(replica, batch[p].off, batch[p].len);
@@ -521,6 +589,16 @@ MirroredDevice::resyncTask(size_t idx)
                         failReplica(src);
                     else
                         lost_again = true;
+                }
+                if (!progressed && !lost_again) {
+                    // Every read failed. When the source was active,
+                    // failReplica just demoted it and the next pass
+                    // re-picks; but a *fallback* source stays where
+                    // it is (already inactive), and its dead client
+                    // fails reads without consuming simulated time —
+                    // so back off before retrying or this loop spins
+                    // forever in a single tick.
+                    co_await sim_.sleep(config_.probe_interval);
                 }
                 if (lost_again) {
                     // The node died again mid-resync: back to the

@@ -58,8 +58,20 @@ struct MirrorConfig
 {
     std::string name = "mirror";
 
-    /** How often the resync task probes a down replica. */
+    /**
+     * Initial delay before the resync task's first revive probe of a
+     * down replica. Failed probes back off binary-exponentially up
+     * to probe_max_interval (the TcpStream RTO rule): a node that
+     * stays down costs geometrically fewer connection attempts, and
+     * a successful revive resets the next outage to this base. The
+     * bounded waits inside the replay phase (no surviving source,
+     * straggler writes in flight) poll at this fixed interval — they
+     * wait on local state, not on a dead node.
+     */
     sim::Tick probe_interval = sim::msecs(10);
+
+    /** Backoff cap for the revive probe. */
+    sim::Tick probe_max_interval = sim::msecs(80);
 
     /**
      * Bytes replayed per resync I/O. Must not exceed the server's
@@ -150,9 +162,31 @@ class MirroredDevice : public BlockDevice
     uint64_t capacity() const override;
     /** @} */
 
+    /**
+     * Fails a leg out of the mirror proactively (idempotent). The
+     * mirror learns about a dead node reactively — the first I/O
+     * whose DSA client exhausts retransmission and reconnection —
+     * which costs a full client-death timeout ladder per victim. A
+     * cluster-level failure detector (heartbeats, src/cluster) that
+     * already knows the node is down calls this instead, so I/O
+     * stops targeting the dead leg immediately and the resync task
+     * takes over; when the node was in fact healthy, the next revive
+     * probe readmits it after an empty replay.
+     */
+    void failLeg(size_t idx);
+
     /** @name Statistics @{ */
     size_t replicaCount() const { return replicas_.size(); }
     size_t activeReplicas() const;
+    /** True when leg @p idx currently serves I/O. */
+    bool legActive(size_t idx) const { return replicas_[idx].active; }
+    /** True while leg @p idx is reachable again but still replaying
+     *  missed writes (duplicated-to, not yet readable). */
+    bool
+    legCatchingUp(size_t idx) const
+    {
+        return replicas_[idx].catching_up;
+    }
     /** True while any replica is failed out of the mirror. */
     bool degraded() const;
     uint64_t failoverCount() const { return failovers_.value(); }
@@ -160,6 +194,15 @@ class MirroredDevice : public BlockDevice
     uint64_t resyncBytes() const { return resync_bytes_.value(); }
     /** Total bytes currently in dirty-region logs. */
     uint64_t dirtyBytes() const;
+    /** Dirty-log bytes of one leg. */
+    uint64_t legDirtyBytes(size_t idx) const;
+    /** Writes in flight that miss leg @p idx (issued while it was
+     *  down); readmission waits for this to reach zero. */
+    uint64_t
+    legInflightMissing(size_t idx) const
+    {
+        return replicas_[idx].inflight_missing;
+    }
     /** Damaged ranges rewritten from a peer replica (foreground
      *  reads and scrub passes both land here). */
     uint64_t
@@ -184,6 +227,10 @@ class MirroredDevice : public BlockDevice
         MirrorReplica leg;
         bool active = true;
         bool resyncing = false;
+        /** Tick of the most recent failover; orders the legs of a
+         *  fully-failed mirror so resync can pick a safe fallback
+         *  source (see fallbackSource). */
+        sim::Tick failed_at = 0;
         /** Node reachable again, replay in progress: new writes are
          *  duplicated to this replica, reads still avoid it. */
         bool catching_up = false;
@@ -234,6 +281,17 @@ class MirroredDevice : public BlockDevice
     /** Index of an active replica to read from, or replicas_.size()
      *  when none is left. Advances the round-robin cursor. */
     size_t pickReader();
+
+    /**
+     * Resync source of last resort when *no* leg is active (double
+     * fault): the failed leg with the strictly latest
+     * (failed_at, index) rank that is quiescent (no in-flight missed
+     * writes, no replay chunks). Returns replicas_.size() when
+     * replica @p idx is itself the latest-failed leg — it waits
+     * until an earlier-failed leg readmits and serves as an active
+     * source.
+     */
+    size_t fallbackSource(size_t idx) const;
 
     sim::Simulation &sim_;
     sim::MemorySpace &memory_;

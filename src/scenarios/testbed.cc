@@ -227,6 +227,59 @@ Testbed::Testbed(Backend backend, HostParams host_params,
             children, storage_params_.stripe_unit);
     }
     device_ = striped_.get();
+
+    if (storage_params_.cluster) {
+        // Promote the RAID-10 composition into a volume service:
+        // a metadata service describing the geometry (genesis map,
+        // every node Active), heartbeat detection over the nodes,
+        // and the client-side directory routing epoch-checked I/O.
+        assert(storage_params_.mirrored &&
+               "cluster mode runs over node-level mirrors");
+        cluster::PlacementMap genesis;
+        genesis.stripe_unit = storage_params_.stripe_unit;
+        for (size_t pair = 0; pair + 1 < servers_.size(); pair += 2) {
+            cluster::ShardView shard;
+            shard.replicas.push_back(cluster::ReplicaView{
+                static_cast<int>(pair), cluster::ReplicaState::Active});
+            shard.replicas.push_back(cluster::ReplicaView{
+                static_cast<int>(pair + 1),
+                cluster::ReplicaState::Active});
+            genesis.shards.push_back(std::move(shard));
+        }
+        meta_service_ = std::make_unique<cluster::MetaService>(
+            sim_, storage_params_.meta, std::move(genesis));
+
+        std::vector<cluster::HeartbeatPeer> peers;
+        for (auto &server : servers_) {
+            storage::V3Server *srv = server.get();
+            peers.push_back(cluster::HeartbeatPeer{
+                srv->config().name,
+                [srv] { return !srv->crashed(); },
+                [srv] { return srv->bootEpoch(); }});
+        }
+        heartbeat_ = std::make_unique<cluster::HeartbeatMonitor>(
+            sim_, storage_params_.heartbeat, std::move(peers));
+
+        std::vector<dsa::MirroredDevice *> shard_mirrors;
+        for (auto &mirror : mirrors_)
+            shard_mirrors.push_back(mirror.get());
+        directory_ = std::make_unique<cluster::VolumeDirectory>(
+            sim_, *meta_service_, *heartbeat_,
+            std::move(shard_mirrors), *striped_,
+            storage_params_.directory);
+        device_ = directory_.get();
+
+        // Whole-box fault targets: node i and, on the first
+        // meta.replicas boxes, its co-located metadata replica.
+        for (size_t n = 0; n < servers_.size(); ++n) {
+            auto target = std::make_unique<vi::CompositeFaultTarget>();
+            target->add(*servers_[n]);
+            if (n < static_cast<size_t>(meta_service_->replicaCount()))
+                target->add(meta_service_->replica(
+                    static_cast<int>(n)));
+            composite_targets_.push_back(std::move(target));
+        }
+    }
 }
 
 Testbed::~Testbed() = default;
@@ -263,6 +316,15 @@ Testbed::connectAll()
     }
     sim_.run();
     return all_ok && pending == 0;
+}
+
+std::vector<vi::NodeFaultTarget *>
+Testbed::nodeTargets()
+{
+    std::vector<vi::NodeFaultTarget *> out;
+    for (auto &target : composite_targets_)
+        out.push_back(target.get());
+    return out;
 }
 
 std::vector<storage::BlockCache *>

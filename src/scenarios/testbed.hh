@@ -33,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/heartbeat.hh"
+#include "cluster/meta_service.hh"
+#include "cluster/volume_directory.hh"
 #include "disk/disk_spec.hh"
 #include "disk/volume.hh"
 #include "dsa/block_device.hh"
@@ -98,6 +101,19 @@ struct StorageParams
      *  pairs (RAID-10). Requires an even v3_nodes. */
     bool mirrored = false;
     dsa::MirrorConfig mirror;
+
+    /**
+     * Run the storage nodes as one fault-tolerant volume service
+     * (src/cluster): placement-metadata service with lease-holding
+     * primary, heartbeat failure detection, and a client-side volume
+     * directory driving node-level failover. Requires mirrored. The
+     * first meta.replicas nodes co-host a metadata replica (one
+     * failure domain per box — see vi::CompositeFaultTarget).
+     */
+    bool cluster = false;
+    cluster::MetaConfig meta;
+    cluster::HeartbeatConfig heartbeat;
+    cluster::DirectoryConfig directory;
 
     /** Overload control at every storage node (V3 servers and iSCSI
      *  targets alike; DESIGN.md §12). Disabled by default. */
@@ -178,6 +194,25 @@ class Testbed
     /** Fault injector over this testbed's fabric. */
     vi::FaultInjector &faults() { return *faults_; }
 
+    /** Cluster control plane (null unless StorageParams::cluster). */
+    cluster::MetaService *meta() { return meta_service_.get(); }
+    cluster::HeartbeatMonitor *heartbeats()
+    {
+        return heartbeat_.get();
+    }
+    cluster::VolumeDirectory *directory()
+    {
+        return directory_.get();
+    }
+
+    /**
+     * Whole-box fault targets, one per storage node (cluster mode
+     * only): crashing target i takes out server i AND, on the first
+     * meta.replicas nodes, its co-located metadata replica. Feed
+     * these to faults().scheduleNodeOutage / startChaos.
+     */
+    std::vector<vi::NodeFaultTarget *> nodeTargets();
+
     /** Read hit ratio across all storage-node caches. */
     double serverCacheHitRatio() const;
 
@@ -207,6 +242,12 @@ class Testbed
     std::vector<std::unique_ptr<iscsi::Target>> iscsi_targets_;
     std::vector<std::unique_ptr<iscsi::Initiator>> iscsi_initiators_;
     std::unique_ptr<dsa::StripedDevice> striped_;
+
+    std::unique_ptr<cluster::MetaService> meta_service_;
+    std::unique_ptr<cluster::HeartbeatMonitor> heartbeat_;
+    std::unique_ptr<cluster::VolumeDirectory> directory_;
+    std::vector<std::unique_ptr<vi::CompositeFaultTarget>>
+        composite_targets_;
 
     std::vector<std::unique_ptr<disk::Disk>> local_disks_;
     std::vector<std::unique_ptr<disk::SingleDiskVolume>> local_parts_;

@@ -173,6 +173,7 @@ V3Server::restart()
     if (!crashed_)
         return;
     crashed_ = false;
+    ++boot_epoch_;
     restarts_.increment();
     V3LOG(Info, "v3") << config_.name << ": node restart";
     // Cold restart: port back up; the accept handler from start() is
@@ -664,8 +665,16 @@ V3Server::doRead(Connection &conn, const dsa::RequestMsg &req,
         for (uint64_t bb = b; bb < run_end; ++bb) {
             const CacheKey bkey{req.volume, bb};
             co_await lease.run(config_.cache_op_cost, CpuCat::Other);
+            // A write racing this fill may have committed newer
+            // bytes than the disk read captured: consume the stale
+            // mark (always, so it cannot leak) and serve from the
+            // transient instead of installing a stale frame.
+            const bool fill_unsafe =
+                fill_stale_.erase(bkey) > 0 ||
+                writing_.find(bkey) != writing_.end();
             std::optional<sim::Addr> frame =
-                ok ? cache_->insertAndPin(bkey) : std::nullopt;
+                ok && !fill_unsafe ? cache_->insertAndPin(bkey)
+                                   : std::nullopt;
             if (frame) {
                 sim::MemorySpace::copy(mem, tbuf + (bb - b) * bs, mem,
                                        *frame, bs);
@@ -804,6 +813,28 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
         digest_mismatches_.increment();
         co_return dsa::IoStatus::BadDigest;
     }
+    // Guard concurrent miss fills: a fill whose disk read races this
+    // write can capture pre-commit bytes; if it installed them after
+    // our cache update, the cache would serve stale data forever
+    // (the disk itself stays correct, which makes the corruption
+    // invisible until the frame is evicted). Count the write against
+    // every covered block now, and on the way out invalidate any
+    // fill still in flight.
+    const uint64_t wbs = config_.block_size;
+    const uint64_t wfirst = req.offset / wbs;
+    const uint64_t wlast = (req.offset + req.len - 1) / wbs;
+    for (uint64_t b = wfirst; b <= wlast; ++b)
+        ++writing_[CacheKey{req.volume, b}];
+    auto finish_writing = [&] {
+        for (uint64_t b = wfirst; b <= wlast; ++b) {
+            const CacheKey key{req.volume, b};
+            auto it = writing_.find(key);
+            if (it != writing_.end() && --it->second == 0)
+                writing_.erase(it);
+            if (loading_.find(key) != loading_.end())
+                fill_stale_[key] = true;
+        }
+    };
 
     // Update cache blocks so subsequent reads see the new data.
     if (cache_) {
@@ -843,8 +874,10 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
 
     // A crash between staging and commit loses the write: the node
     // is fail-stop, so nothing may reach disk after the cache died.
-    if (!conn.alive)
+    if (!conn.alive) {
+        finish_writing();
         co_return dsa::IoStatus::Error;
+    }
 
     // Commit to disk before completing (durability, section 5.2).
     co_await lease.run(config_.disk_sched_cost, CpuCat::Other);
@@ -854,6 +887,7 @@ V3Server::doWrite(Connection &conn, const dsa::RequestMsg &req,
     lease = co_await node_.cpus().acquire(
         osmodel::CpuPool::kNormalPriority,
         orderKey(conn.staging_base, req.offset));
+    finish_writing();
     co_return ok ? dsa::IoStatus::Ok : dsa::IoStatus::Error;
 }
 
@@ -941,7 +975,12 @@ V3Server::prefetchRange(uint32_t volume_id, uint64_t first,
 
         for (uint64_t bb = b; bb < run_end; ++bb) {
             const CacheKey bkey{volume_id, bb};
-            if (ok) {
+            // Same stale-fill guard as doRead: skip blocks a racing
+            // write invalidated or still has in flight.
+            const bool fill_unsafe =
+                fill_stale_.erase(bkey) > 0 ||
+                writing_.find(bkey) != writing_.end();
+            if (ok && !fill_unsafe) {
                 co_await lease.run(config_.cache_op_cost,
                                    CpuCat::Other);
                 if (auto frame = cache_->insertAndPin(bkey)) {

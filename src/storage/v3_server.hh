@@ -175,6 +175,15 @@ class V3Server : public vi::NodeFaultTarget
     /** True while crashed (between crash() and restart()). */
     bool crashed() const { return crashed_; }
 
+    /**
+     * Incarnation counter: bumped on every restart(). A failure
+     * detector that only samples crashed() can miss a crash-and-
+     * restart that fits entirely between two probes; comparing boot
+     * epochs across probes catches the bounce (the cache was lost
+     * even though the node looks continuously up).
+     */
+    uint64_t bootEpoch() const { return boot_epoch_; }
+
     /** @name Statistics @{ */
     uint64_t readCount() const { return reads_.value(); }
     uint64_t writeCount() const { return writes_.value(); }
@@ -350,11 +359,25 @@ class V3Server : public vi::NodeFaultTarget
 
     std::vector<std::unique_ptr<Connection>> connections_;
     bool crashed_ = false;
+    uint64_t boot_epoch_ = 0;
 
     /** Blocks currently being read from disk (miss coalescing). */
     util::FlatMap<CacheKey, std::unique_ptr<sim::CondEvent>,
                   CacheKeyHash>
         loading_;
+
+    /** Writes in flight per block, counted from the cache update to
+     *  the disk commit returning. A miss fill whose disk read raced
+     *  such a write may hold pre-commit bytes; installing them would
+     *  shadow the committed data in the cache indefinitely, so fills
+     *  skip blocks with a write in flight. */
+    util::FlatMap<CacheKey, uint32_t, CacheKeyHash> writing_;
+
+    /** Fills invalidated by a write that committed while the fill
+     *  was still in loading_: the filler consumes (erases) its mark
+     *  and serves the read from its transient instead of installing
+     *  a possibly-stale frame. */
+    util::FlatMap<CacheKey, bool, CacheKeyHash> fill_stale_;
 
     /// Registry path prefix ("server.<name>", uniquified); must
     /// precede the metric references so it is initialised first.

@@ -16,7 +16,9 @@ FaultInjector::FaultInjector(sim::Simulation &sim, net::Fabric &fabric)
       node_crashes_(
           sim.metrics().counter(metric_prefix_ + ".node_crashes")),
       node_restarts_(
-          sim.metrics().counter(metric_prefix_ + ".node_restarts"))
+          sim.metrics().counter(metric_prefix_ + ".node_restarts")),
+      chaos_outages_(
+          sim.metrics().counter(metric_prefix_ + ".chaos_outages"))
 {
     fabric_.setDropFilter([this](const net::Packet &packet) {
         return shouldDrop(packet);
@@ -147,6 +149,45 @@ FaultInjector::scheduleNodeOutage(sim::Tick from, sim::Tick until,
 {
     scheduleNodeCrash(from, node);
     scheduleNodeRestart(until, node);
+}
+
+void
+FaultInjector::startChaos(const ChaosConfig &config,
+                          std::vector<NodeFaultTarget *> victims)
+{
+    if (victims.empty() || config.end <= config.begin)
+        return;
+    // Lazy fork, same rule as the loss and corruption streams: a
+    // build that never runs a campaign draws nothing.
+    if (!chaos_rng_)
+        chaos_rng_.emplace(sim_.forkRng());
+    sim::spawn(chaosTask(config, std::move(victims)));
+}
+
+sim::Task<>
+FaultInjector::chaosTask(ChaosConfig config,
+                         std::vector<NodeFaultTarget *> victims)
+{
+    if (sim_.now() < config.begin)
+        co_await sim_.sleep(config.begin - sim_.now());
+    for (;;) {
+        const sim::Tick gap = static_cast<sim::Tick>(
+            chaos_rng_->exponential(
+                static_cast<double>(config.mean_gap)));
+        if (sim_.now() + gap >= config.end)
+            break;
+        co_await sim_.sleep(gap);
+        const size_t victim =
+            chaos_rng_->uniformInt(0, victims.size() - 1);
+        const sim::Tick down = static_cast<sim::Tick>(
+            chaos_rng_->uniformInt(config.min_down, config.max_down));
+        node_crashes_.increment();
+        victims[victim]->crash();
+        co_await sim_.sleep(down);
+        node_restarts_.increment();
+        victims[victim]->restart();
+        chaos_outages_.increment();
+    }
 }
 
 void

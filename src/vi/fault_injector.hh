@@ -48,6 +48,7 @@
 #include "sim/random.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
+#include "sim/task.hh"
 #include "vi/fault_targets.hh"
 #include "vi/vi_nic.hh"
 
@@ -126,6 +127,38 @@ class FaultInjector
     void scheduleNodeOutage(sim::Tick from, sim::Tick until,
                             NodeFaultTarget &node);
 
+    /** Randomized crash/restart campaign (see startChaos). */
+    struct ChaosConfig
+    {
+        /** Campaign window in absolute simulated time. */
+        sim::Tick begin = 0;
+        sim::Tick end = 0;
+        /** Mean healthy gap between outages (exponential). */
+        sim::Tick mean_gap = sim::msecs(100);
+        /** Outage length, uniform in [min_down, max_down]. */
+        sim::Tick min_down = sim::msecs(20);
+        sim::Tick max_down = sim::msecs(100);
+    };
+
+    /**
+     * Runs a seeded random crash/restart campaign over @p victims
+     * inside [config.begin, config.end): exponential healthy gaps,
+     * a uniformly chosen victim per outage, a uniform down time.
+     * Outages are strictly sequential — one node down at a time —
+     * so every replica set with its legs on distinct nodes keeps a
+     * survivor throughout (data loss in the campaign is a bug in
+     * the system under test, never in the schedule). The campaign
+     * RNG forks lazily on the first call, preserving the injector's
+     * rule that fault-free runs are bit-identical to builds without
+     * it. The task ends itself at config.end; crashes and restarts
+     * land in the usual node_crashes/node_restarts counters.
+     */
+    void startChaos(const ChaosConfig &config,
+                    std::vector<NodeFaultTarget *> victims);
+
+    /** Outages the chaos campaigns have completed. */
+    uint64_t chaosOutageCount() const { return chaos_outages_.value(); }
+
     /** Cancels every scheduled-but-not-yet-fired break/crash/restart. */
     void cancelScheduled();
 
@@ -171,6 +204,12 @@ class FaultInjector
      *  must not perturb the loss process (and vice versa), so runs
      *  that only differ in one rate stay comparable. */
     std::optional<sim::Rng> corrupt_rng_;
+    /** And a third independent stream for chaos campaigns. */
+    std::optional<sim::Rng> chaos_rng_;
+
+    /** Chaos campaign body (one coroutine per startChaos call). */
+    sim::Task<> chaosTask(ChaosConfig config,
+                          std::vector<NodeFaultTarget *> victims);
 
     int drop_next_ = 0;
     std::optional<net::PortId> drop_towards_;
@@ -196,6 +235,7 @@ class FaultInjector
     sim::CounterHandle breaks_;
     sim::CounterHandle node_crashes_;
     sim::CounterHandle node_restarts_;
+    sim::CounterHandle chaos_outages_;
 };
 
 } // namespace v3sim::vi

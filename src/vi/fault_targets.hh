@@ -13,6 +13,7 @@
 #define V3SIM_VI_FAULT_TARGETS_HH
 
 #include <cstdint>
+#include <vector>
 
 namespace v3sim::vi
 {
@@ -28,6 +29,43 @@ class NodeFaultTarget
     virtual ~NodeFaultTarget() = default;
     virtual void crash() = 0;
     virtual void restart() = 0;
+};
+
+/**
+ * Several fault targets that share one failure domain: a whole-box
+ * fault takes them all out at once. The cluster layer co-locates a
+ * placement-metadata replica with a storage server on the first few
+ * nodes; crashing "the node" must crash both, or chaos campaigns
+ * would quietly test a world where metadata never shares fate with
+ * data.
+ */
+class CompositeFaultTarget : public NodeFaultTarget
+{
+  public:
+    CompositeFaultTarget() = default;
+    explicit CompositeFaultTarget(std::vector<NodeFaultTarget *> parts)
+        : parts_(std::move(parts))
+    {
+    }
+
+    void add(NodeFaultTarget &part) { parts_.push_back(&part); }
+
+    void
+    crash() override
+    {
+        for (NodeFaultTarget *part : parts_)
+            part->crash();
+    }
+
+    void
+    restart() override
+    {
+        for (NodeFaultTarget *part : parts_)
+            part->restart();
+    }
+
+  private:
+    std::vector<NodeFaultTarget *> parts_;
 };
 
 /**
