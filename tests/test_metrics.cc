@@ -28,6 +28,7 @@ TEST(MetricRegistry, RegisterAndLookup)
     depth.set(10, 2.0);
 
     EXPECT_TRUE(registry.contains("client.kdsa0.ios"));
+    // simlint:allow(metric-index: deliberate negative probe of contains())
     EXPECT_FALSE(registry.contains("client.kdsa0.nope"));
     EXPECT_EQ(registry.size(), 4u);
 
@@ -49,6 +50,7 @@ TEST(MetricRegistry, RegisterAndLookup)
     EXPECT_EQ(registry.findCounter("client.kdsa0.latency_ns"),
               nullptr);
     EXPECT_EQ(registry.findSampler("client.kdsa0.ios"), nullptr);
+    // simlint:allow(metric-index: deliberate lookup of an unregistered path)
     EXPECT_EQ(registry.findHistogram("missing"), nullptr);
 }
 

@@ -1,0 +1,17 @@
+// Fixture: container alias exported for the cross-TU blind-spot
+// test — defined here, consumed by bad_alias_iter.cc, which never
+// resolves it under per-file analysis.
+#ifndef FIXTURE_ALIAS_TYPES_HH
+#define FIXTURE_ALIAS_TYPES_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace net
+{
+
+using SeqMap = std::unordered_map<uint64_t, uint64_t>;
+
+} // namespace net
+
+#endif

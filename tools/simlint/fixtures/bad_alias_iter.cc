@@ -1,0 +1,18 @@
+// Fixture: the v1 blind spot — a member declared via an alias from
+// another TU, iterated with a structured binding. Per-file analysis
+// cannot see the alias; the cross-TU pass must.
+#include "alias_types.hh"
+
+struct Conn
+{
+    net::SeqMap seqs;
+};
+
+unsigned long
+sum(const Conn &conn)
+{
+    unsigned long total = 0;
+    for (const auto &[ep, seq] : conn.seqs)
+        total += seq;
+    return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: headers that smuggle wall clocks, threads or raw
+// randomness into the tree are rejected at the include line.
+#include <thread>
+#include <mutex>
+#include <vector>
+
+int
+workers()
+{
+    return 4;
+}

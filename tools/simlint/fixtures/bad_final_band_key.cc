@@ -1,0 +1,20 @@
+// Fixture: pointers and addresses must never become arbitration or
+// sort keys (§8.3): ASLR reshuffles address order run-to-run.
+#include <cstdint>
+
+struct Buffer
+{
+    int id;
+};
+
+bool
+older(Buffer *a, Buffer *b)
+{
+    return a < b;
+}
+
+unsigned long
+key(Buffer *buf)
+{
+    return reinterpret_cast<uintptr_t>(buf);
+}

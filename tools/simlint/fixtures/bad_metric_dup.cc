@@ -1,0 +1,13 @@
+// Fixture: the same full path registered a second time — both
+// series silently merge into one.
+
+struct Registry
+{
+    int &counter(const char *path);
+};
+
+void
+rewire(Registry &r)
+{
+    r.counter("demo.total_ios");
+}

@@ -1,0 +1,14 @@
+// Fixture: a by-name lookup of a path never registered anywhere in
+// the scanned tree — the seeded typo (missing 's') reads as a
+// silent zero at runtime. Only the cross-TU pass can tell.
+
+struct Registry
+{
+    const int *findCounter(const char *path);
+};
+
+const int *
+probe(Registry &r)
+{
+    return r.findCounter("demo.total_io");
+}

@@ -1,0 +1,21 @@
+// Fixture: by-reference captures handed to schedule*/EventFn escape
+// their frame: the callback fires ticks later, the locals are gone.
+#include <functional>
+
+using EventFn = std::function<void()>;
+
+struct Queue
+{
+    void schedule(long t, EventFn f);
+    void scheduleFinal(long t, EventFn f);
+};
+
+void
+arm(Queue &q)
+{
+    int local = 0;
+    q.schedule(10, [&] { ++local; });
+    q.scheduleFinal(20, [&local] { ++local; });
+    EventFn fn = [&] { ++local; };
+    q.schedule(30, fn);
+}

@@ -1,0 +1,20 @@
+// Fixture: model code must not construct sim::Rng from a literal
+// seed: every stream derives from Simulation::forkRng().
+#include "sim/random.hh"
+
+namespace model
+{
+
+struct Shaper
+{
+    sim::Rng jitter{12345};
+};
+
+long
+sample()
+{
+    sim::Rng rng(42);
+    return static_cast<long>(rng.next());
+}
+
+} // namespace model

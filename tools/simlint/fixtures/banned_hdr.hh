@@ -1,0 +1,14 @@
+// Fixture: a header that drags <thread> into every includer — the
+// include-graph pass attributes the blast radius.
+#ifndef FIXTURE_BANNED_HDR_HH
+#define FIXTURE_BANNED_HDR_HH
+
+#include <thread>
+
+inline unsigned
+hw_threads()
+{
+    return 1;
+}
+
+#endif

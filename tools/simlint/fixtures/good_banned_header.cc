@@ -1,0 +1,11 @@
+// Fixture: the allow-file escape hatch names the rule and carries a
+// reason; the include is then sanctioned and inventoried.
+// simlint:allow-file(banned-header: fixture demonstrates the sanctioned escape hatch)
+#include <chrono>
+#include <vector>
+
+double
+tick()
+{
+    return 0.0;
+}

@@ -1,0 +1,17 @@
+// Fixture: content keys order contenders deterministically — none
+// of the final-band-key shapes may fire on member compares.
+#include <cstdint>
+
+struct Buffer
+{
+    uint64_t seq;
+    int id;
+};
+
+bool
+older(Buffer *a, Buffer *b)
+{
+    if (a->seq != b->seq)
+        return a->seq < b->seq;
+    return a->id < b->id;
+}

@@ -1,0 +1,18 @@
+// Fixture: lookups that resolve against metric_defs.cc — exact,
+// via the uniquePrefix() base, and via a suffix fragment.
+
+struct Registry
+{
+    const int *findCounter(const char *path);
+    const double *findSampler(const char *path);
+    bool contains(const char *path);
+};
+
+bool
+check(Registry &r)
+{
+    bool ok = r.findCounter("demo.total_ios") != nullptr;
+    ok = ok && r.findSampler("client.kdsa0.latency_ns") != nullptr;
+    ok = ok && r.contains("client.kdsa1.bytes");
+    return ok;
+}

@@ -1,0 +1,23 @@
+// Fixture: value captures and [this] handed to the queue are safe —
+// nothing here may fire.
+#include <functional>
+
+using EventFn = std::function<void()>;
+
+struct Queue
+{
+    void schedule(long t, EventFn f);
+};
+
+struct Driver
+{
+    Queue q;
+    int fired = 0;
+
+    void arm(long when)
+    {
+        q.schedule(when, [this] { ++fired; });
+        int snapshot = fired;
+        q.schedule(when + 1, [snapshot] { (void)snapshot; });
+    }
+};

@@ -1,0 +1,19 @@
+// Fixture: the sanctioned pattern — every stream is forked from the
+// simulation's root RNG, so one run seed governs all of them.
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+namespace model
+{
+
+struct Shaper
+{
+    explicit Shaper(sim::Simulation &sim)
+        : jitter_(sim.forkRng("model.shaper.jitter"))
+    {
+    }
+
+    sim::Rng jitter_;
+};
+
+} // namespace model

@@ -1,0 +1,18 @@
+// Fixture: metric registrations feeding the cross-TU index tests —
+// a full path, a uniquePrefix() base and a suffix fragment.
+#include <string>
+
+struct Registry
+{
+    int &counter(const std::string &path);
+    double &sampler(const std::string &path);
+    std::string uniquePrefix(const std::string &base);
+};
+
+void
+wire(Registry &r)
+{
+    r.counter("demo.total_ios");
+    std::string prefix = r.uniquePrefix("client.kdsa");
+    r.sampler(prefix + ".latency_ns");
+}

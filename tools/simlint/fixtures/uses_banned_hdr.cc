@@ -1,0 +1,9 @@
+// Fixture: pulls banned_hdr.hh in; the attribution on the header's
+// finding counts this TU.
+#include "banned_hdr.hh"
+
+unsigned
+width()
+{
+    return hw_threads();
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * simlint lexing layer: comment/literal stripping with line
+ * fidelity, tokenization, and #include extraction.
+ *
+ * strip() turns raw source into a Stripped view: code lines with
+ * comments and literals blanked (lengths preserved so line/column
+ * arithmetic survives), the string literals recorded in order, and
+ * suppression annotations parsed out of the comment text before it
+ * is discarded. Each string literal leaves a '\x01' marker at its
+ * opening quote so tokenize() can splice String tokens back into
+ * the stream at the right position.
+ *
+ * tokenize() produces the token stream the symbol table and rules
+ * operate on: identifiers, numbers, string literals and punctuation
+ * (common multi-char operators merged), each carrying its 1-based
+ * source line.
+ */
+
+#ifndef V3SIM_TOOLS_SIMLINT_LEXER_HH
+#define V3SIM_TOOLS_SIMLINT_LEXER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace v3sim::simlint
+{
+
+/** A string literal found in the source (content only, no quotes). */
+struct Literal
+{
+    int line = 0;
+    std::string text;
+};
+
+/**
+ * Comment/literal-stripped view of a translation unit. Lines keep
+ * their length (stripped spans are blanked with spaces) so column
+ * arithmetic and line numbers survive. Annotations are parsed from
+ * the comment text before it is discarded.
+ */
+struct Stripped
+{
+    std::vector<std::string> code;      ///< blanked source lines
+    std::vector<Literal> literals;      ///< string literals, in order
+    /** line (1-based) -> rules allowed on that line and the next. */
+    std::map<int, std::set<std::string>> allows;
+    std::set<std::string> file_allows;  ///< allow-file rules
+    std::vector<Suppression> suppressions; ///< accepted annotations
+    std::vector<Finding> annotation_findings;
+
+    /** True when @p rule is suppressed at @p line (same line, the
+     *  line above, or file scope). */
+    bool allowed(const std::string &rule, int line) const;
+};
+
+/** One pass over the raw text: blanks comments and literals, records
+ *  string literals and annotations. @p path is used for reporting. */
+Stripped strip(const std::string &path, const std::string &content);
+
+/** Token kinds. */
+enum class Tok : uint8_t
+{
+    Ident,   ///< identifier or keyword
+    Number,  ///< numeric literal
+    String,  ///< string literal (text = content, no quotes)
+    Punct,   ///< operator / punctuation (multi-char ops merged)
+};
+
+/** One token with its source line. */
+struct Token
+{
+    Tok kind = Tok::Punct;
+    std::string text;
+    int line = 0;
+
+    bool is(const char *t) const { return text == t; }
+    bool ident(const char *t) const
+    {
+        return kind == Tok::Ident && text == t;
+    }
+};
+
+/** Tokenizes stripped code; literal markers become String tokens. */
+std::vector<Token> tokenize(const Stripped &stripped);
+
+/** One #include directive. */
+struct IncludeDirective
+{
+    int line = 0;
+    std::string target;  ///< e.g. "chrono" or "sim/event_queue.hh"
+    bool system = false; ///< <...> (true) vs "..." (false)
+};
+
+/** Scans raw source text for #include directives. */
+std::vector<IncludeDirective> scanIncludes(const std::string &content);
+
+} // namespace v3sim::simlint
+
+#endif // V3SIM_TOOLS_SIMLINT_LEXER_HH

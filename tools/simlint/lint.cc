@@ -1,12 +1,26 @@
+/**
+ * @file
+ * simlint driver: per-file entry points, the cross-TU repo pass,
+ * output formatting (text/JSON) and the suppression ratchet.
+ */
+
 #include "lint.hh"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <queue>
 #include <set>
 #include <sstream>
-#include <utility>
+#include <tuple>
+
+#include "lexer.hh"
+#include "rules.hh"
+#include "symtab.hh"
+
+namespace fs = std::filesystem;
 
 namespace v3sim::simlint
 {
@@ -14,890 +28,166 @@ namespace v3sim::simlint
 namespace
 {
 
-/** A string literal found in the source (content only, no quotes). */
-struct Literal
-{
-    int line = 0;
-    std::string text;
-};
-
-/**
- * Comment/literal-stripped view of a translation unit. Lines keep
- * their length (stripped spans are blanked with spaces) so column
- * arithmetic and line numbers survive. Annotations are parsed from
- * the comment text before it is discarded.
- */
-struct Stripped
-{
-    std::vector<std::string> code;      ///< blanked source lines
-    std::vector<Literal> literals;      ///< string literals, in order
-    /** line (1-based) -> rules allowed on that line and the next. */
-    std::map<int, std::set<std::string>> allows;
-    std::set<std::string> file_allows;  ///< allow-file rules
-    std::vector<Finding> annotation_findings;
-};
-
 bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string
-trim(const std::string &s)
-{
-    size_t b = s.find_first_not_of(" \t");
-    if (b == std::string::npos)
-        return "";
-    size_t e = s.find_last_not_of(" \t");
-    return s.substr(b, e - b + 1);
-}
-
-/** Parses allow/allow-file annotations out of one comment chunk.
- *  (The tag itself is spelled via kTag only: writing it literally in
- *  a comment here would trip the parser on its own source.) */
-void
-parseAnnotations(const std::string &path, const std::string &comment,
-                 int line, Stripped &out)
-{
-    static const std::string kTag = "simlint:allow";
-    size_t at = 0;
-    while ((at = comment.find(kTag, at)) != std::string::npos) {
-        size_t cursor = at + kTag.size();
-        bool file_scope = false;
-        if (comment.compare(cursor, 5, "-file") == 0) {
-            file_scope = true;
-            cursor += 5;
-        }
-        auto bad = [&](const std::string &why) {
-            out.annotation_findings.push_back(
-                {path, line, "annotation", why});
-        };
-        if (cursor >= comment.size() || comment[cursor] != '(') {
-            bad("malformed simlint:allow annotation (expected '(')");
-            break;
-        }
-        size_t close = comment.find(')', cursor);
-        if (close == std::string::npos) {
-            bad("malformed simlint:allow annotation (missing ')')");
-            break;
-        }
-        std::string body =
-            comment.substr(cursor + 1, close - cursor - 1);
-        size_t colon = body.find(':');
-        if (colon == std::string::npos) {
-            bad("simlint:allow needs \"rule: reason\"");
-        } else {
-            std::string rule = trim(body.substr(0, colon));
-            std::string reason = trim(body.substr(colon + 1));
-            if (rule.empty() || reason.empty()) {
-                bad("simlint:allow needs a rule and a non-empty "
-                    "reason");
-            } else if (file_scope) {
-                out.file_allows.insert(rule);
-            } else {
-                out.allows[line].insert(rule);
-            }
-        }
-        at = close;
-    }
-}
-
-/** One pass over the raw text: blanks comments and literals, records
- *  string literals and annotations. */
-Stripped
-strip(const std::string &path, const std::string &content)
-{
-    Stripped out;
-    std::vector<std::string> lines;
-    {
-        std::string line;
-        std::istringstream in(content);
-        while (std::getline(in, line)) {
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            lines.push_back(line);
-        }
-    }
-
-    enum class State
-    {
-        Normal,
-        BlockComment,
-        String,
-        RawString,
-        Char,
-    };
-    State state = State::Normal;
-    std::string raw_delim;      // for RawString: the ")delim" closer
-    std::string literal;        // accumulating string literal text
-    int literal_line = 0;
-
-    for (size_t li = 0; li < lines.size(); ++li) {
-        const std::string &src = lines[li];
-        std::string code(src.size(), ' ');
-        const int line_no = static_cast<int>(li) + 1;
-        char prev_code = '\0';  // last non-blanked char emitted
-
-        for (size_t i = 0; i < src.size(); ++i) {
-            char c = src[i];
-            char next = i + 1 < src.size() ? src[i + 1] : '\0';
-            switch (state) {
-            case State::Normal:
-                if (c == '/' && next == '/') {
-                    parseAnnotations(path, src.substr(i), line_no,
-                                     out);
-                    i = src.size();
-                } else if (c == '/' && next == '*') {
-                    // Block comment: collect its text (to end of
-                    // line at least) for annotations.
-                    size_t close = src.find("*/", i + 2);
-                    parseAnnotations(
-                        path,
-                        src.substr(i, close == std::string::npos
-                                          ? std::string::npos
-                                          : close - i),
-                        line_no, out);
-                    if (close != std::string::npos) {
-                        i = close + 1;
-                    } else {
-                        state = State::BlockComment;
-                        i = src.size();
-                    }
-                } else if (c == '"') {
-                    if (prev_code == 'R') {
-                        size_t open = src.find('(', i + 1);
-                        if (open == std::string::npos)
-                            open = src.size();
-                        raw_delim =
-                            ")" + src.substr(i + 1, open - i - 1) +
-                            "\"";
-                        state = State::RawString;
-                        literal.clear();
-                        literal_line = line_no;
-                        i = open;
-                    } else {
-                        state = State::String;
-                        literal.clear();
-                        literal_line = line_no;
-                    }
-                } else if (c == '\'' && !isIdentChar(prev_code)) {
-                    // Skip digit separators (1'000) via the prev
-                    // check; otherwise a real char literal.
-                    state = State::Char;
-                } else {
-                    code[i] = c;
-                    if (c != ' ' && c != '\t')
-                        prev_code = c;
-                }
-                break;
-            case State::BlockComment: {
-                size_t close = src.find("*/", i);
-                parseAnnotations(
-                    path,
-                    src.substr(i, close == std::string::npos
-                                      ? std::string::npos
-                                      : close - i),
-                    line_no, out);
-                if (close != std::string::npos) {
-                    i = close + 1;
-                    state = State::Normal;
-                } else {
-                    i = src.size();
-                }
-                break;
-            }
-            case State::String:
-                if (c == '\\') {
-                    if (i + 1 < src.size())
-                        literal.push_back(next);
-                    ++i;
-                } else if (c == '"') {
-                    out.literals.push_back({literal_line, literal});
-                    state = State::Normal;
-                    prev_code = '"';
-                } else {
-                    literal.push_back(c);
-                }
-                break;
-            case State::RawString: {
-                size_t close = src.find(raw_delim, i);
-                if (close != std::string::npos) {
-                    literal.append(src, i, close - i);
-                    out.literals.push_back({literal_line, literal});
-                    i = close + raw_delim.size() - 1;
-                    state = State::Normal;
-                    prev_code = '"';
-                } else {
-                    literal.append(src, i, std::string::npos);
-                    literal.push_back('\n');
-                    i = src.size();
-                }
-                break;
-            }
-            case State::Char:
-                if (c == '\\') {
-                    ++i;
-                } else if (c == '\'') {
-                    state = State::Normal;
-                    prev_code = '\'';
-                }
-                break;
-            }
-        }
-        // Unterminated ordinary string at end of line: treat as
-        // closed (lint input may be mid-edit; stay line-stable).
-        if (state == State::String) {
-            out.literals.push_back({literal_line, literal});
-            state = State::Normal;
-        }
-        if (state == State::Char)
-            state = State::Normal;
-        out.code.push_back(std::move(code));
-    }
-    return out;
-}
-
-bool
-allowed(const Stripped &s, const std::string &rule, int line)
-{
-    if (s.file_allows.count(rule))
-        return true;
-    for (int l : {line, line - 1}) {
-        auto it = s.allows.find(l);
-        if (it != s.allows.end() && it->second.count(rule))
-            return true;
-    }
-    return false;
-}
-
-/** Finds the next identifier at or after @p pos; returns "" at end
- *  of line. Advances @p pos past the identifier. */
-std::string
-nextIdent(const std::string &text, size_t &pos)
-{
-    while (pos < text.size() && !isIdentChar(text[pos]))
-        ++pos;
-    size_t start = pos;
-    while (pos < text.size() && isIdentChar(text[pos]))
-        ++pos;
-    return text.substr(start, pos - start);
-}
-
-/** True if @p text contains the whole word @p word (identifier
- *  boundaries on both sides). Sets @p at to the match offset. */
-bool
-containsWord(const std::string &text, const std::string &word,
-             size_t &at, size_t from = 0)
-{
-    size_t pos = from;
-    while ((pos = text.find(word, pos)) != std::string::npos) {
-        bool left_ok = pos == 0 || !isIdentChar(text[pos - 1]);
-        size_t end = pos + word.size();
-        bool right_ok =
-            end >= text.size() || !isIdentChar(text[end]);
-        if (left_ok && right_ok) {
-            at = pos;
-            return true;
-        }
-        pos = end;
-    }
-    return false;
-}
-
-bool
-containsWord(const std::string &text, const std::string &word)
-{
-    size_t at = 0;
-    return containsWord(text, word, at);
-}
-
-/** True when word is followed (after whitespace) by '('. */
-bool
-callsFunction(const std::string &text, const std::string &word,
-              size_t from = 0)
-{
-    size_t at = 0;
-    size_t pos = from;
-    while (containsWord(text, word, at, pos)) {
-        size_t after = at + word.size();
-        while (after < text.size() &&
-               (text[after] == ' ' || text[after] == '\t'))
-            ++after;
-        if (after < text.size() && text[after] == '(')
-            return true;
-        pos = at + word.size();
-    }
-    return false;
-}
-
-// ---------------------------------------------------------------
-// Container-declaration scanning
-// ---------------------------------------------------------------
-
-/**
- * Names declared with a problematic container type, with the line of
- * the declaration that introduced them. `kind` distinguishes the
- * rule the iteration will be reported under.
- */
-struct TrackedName
-{
-    std::string name;
-    int line = 0;
-    bool pointer_keyed = false; ///< ptr-map-iter instead of
-                                ///< unordered-iter
-};
-
-/** First template argument of the text starting just after '<'. */
-std::string
-firstTemplateArg(const std::string &text, size_t open)
-{
-    int depth = 1;
-    size_t i = open;
-    size_t start = open;
-    for (; i < text.size() && depth > 0; ++i) {
-        char c = text[i];
-        if (c == '<')
-            ++depth;
-        else if (c == '>')
-            --depth;
-        else if (c == ',' && depth == 1)
-            return text.substr(start, i - start);
-    }
-    if (depth == 0 && i > start)
-        return text.substr(start, i - 1 - start);
-    return "";
-}
-
-/**
- * Scans the stripped code for declarations whose type is an
- * unordered container (or a pointer-keyed ordered map/set) and
- * returns the declared variable names. Also resolves one level of
- * `using Alias = std::unordered_map<...>;`.
- */
-std::vector<TrackedName>
-collectTrackedNames(const Stripped &stripped)
-{
-    std::vector<TrackedName> tracked;
-    std::set<std::string> unordered_aliases;
-    std::set<std::string> ptr_aliases;
-
-    // Joined text with line-number mapping for multi-line decls.
-    std::string joined;
-    std::vector<int> line_of; // joined offset -> 1-based line
-    for (size_t li = 0; li < stripped.code.size(); ++li) {
-        for (char c : stripped.code[li]) {
-            joined.push_back(c);
-            line_of.push_back(static_cast<int>(li) + 1);
-        }
-        joined.push_back('\n');
-        line_of.push_back(static_cast<int>(li) + 1);
-    }
-
-    struct TypeToken
-    {
-        std::string token;
-        bool unordered;   ///< always suspect; else needs ptr key
-    };
-    const std::vector<TypeToken> kTypes = {
-        {"unordered_map", true},
-        {"unordered_multimap", true},
-        {"unordered_set", true},
-        {"unordered_multiset", true},
-        {"map", false},
-        {"multimap", false},
-        {"set", false},
-        {"multiset", false},
-    };
-
-    auto scanToken = [&](const TypeToken &type, bool alias_pass) {
-        size_t pos = 0;
-        size_t at = 0;
-        while (containsWord(joined, type.token, at, pos)) {
-            pos = at + type.token.size();
-            // Template opener directly after the token.
-            size_t open = pos;
-            while (open < joined.size() &&
-                   (joined[open] == ' ' || joined[open] == '\n'))
-                ++open;
-            if (open >= joined.size() || joined[open] != '<')
-                continue;
-
-            bool pointer_keyed = false;
-            if (!type.unordered) {
-                std::string key = trim(firstTemplateArg(joined,
-                                                        open + 1));
-                if (key.empty() || key.back() != '*')
-                    continue;
-                pointer_keyed = true;
-            }
-
-            // Walk past the template argument list.
-            int depth = 0;
-            size_t i = open;
-            for (; i < joined.size(); ++i) {
-                if (joined[i] == '<')
-                    ++depth;
-                else if (joined[i] == '>' && --depth == 0)
-                    break;
-            }
-            if (i >= joined.size())
-                continue;
-            ++i;
-
-            // Check for a `using Alias =` introducer to the left.
-            size_t stmt = joined.find_last_of(";{}\n", at);
-            std::string before = joined.substr(
-                stmt == std::string::npos ? 0 : stmt + 1,
-                at - (stmt == std::string::npos ? 0 : stmt + 1));
-            size_t eq = before.find('=');
-            if (before.find("using ") != std::string::npos &&
-                eq != std::string::npos) {
-                size_t p = before.find("using ") + 6;
-                std::string alias = nextIdent(before, p);
-                if (!alias.empty()) {
-                    (pointer_keyed ? ptr_aliases
-                                   : unordered_aliases)
-                        .insert(alias);
-                }
-                continue;
-            }
-            if (alias_pass)
-                continue;
-
-            // Declarator list: identifiers until ';', '=', '(',
-            // '{', or ')'. Stop early on control characters that
-            // mean this was an expression, cast, or parameter.
-            while (i < joined.size()) {
-                while (i < joined.size() &&
-                       (joined[i] == ' ' || joined[i] == '\n' ||
-                        joined[i] == '&' || joined[i] == '*'))
-                    ++i;
-                if (i >= joined.size() ||
-                    !isIdentChar(joined[i]))
-                    break;
-                size_t name_at = i;
-                std::string name = nextIdent(joined, i);
-                while (i < joined.size() &&
-                       (joined[i] == ' ' || joined[i] == '\n'))
-                    ++i;
-                char term =
-                    i < joined.size() ? joined[i] : '\0';
-                if (term == ';' || term == '=' || term == ',' ||
-                    term == '{') {
-                    tracked.push_back({name, line_of[name_at],
-                                       pointer_keyed});
-                }
-                if (term != ',')
-                    break;
-                ++i;
-            }
-        }
-    };
-
-    for (const TypeToken &type : kTypes)
-        scanToken(type, /*alias_pass=*/true);
-    for (const TypeToken &type : kTypes)
-        scanToken(type, /*alias_pass=*/false);
-
-    // Second pass: variables declared with a recorded alias type.
-    for (const auto &[aliases, pointer_keyed] :
-         {std::make_pair(&unordered_aliases, false),
-          std::make_pair(&ptr_aliases, true)}) {
-        for (const std::string &alias : *aliases) {
-            size_t pos = 0;
-            size_t at = 0;
-            while (containsWord(joined, alias, at, pos)) {
-                pos = at + alias.size();
-                size_t i = pos;
-                while (i < joined.size() &&
-                       (joined[i] == ' ' || joined[i] == '\n' ||
-                        joined[i] == '&'))
-                    ++i;
-                if (i >= joined.size() || !isIdentChar(joined[i]))
-                    continue;
-                size_t name_at = i;
-                std::string name = nextIdent(joined, i);
-                while (i < joined.size() &&
-                       (joined[i] == ' ' || joined[i] == '\n'))
-                    ++i;
-                char term = i < joined.size() ? joined[i] : '\0';
-                if (term == ';' || term == '=' || term == '{') {
-                    tracked.push_back({name, line_of[name_at],
-                                       pointer_keyed});
-                }
-            }
-        }
-    }
-    return tracked;
-}
-
-// ---------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------
-
-void
-checkWallClock(const std::string &path, const Stripped &s,
-               std::vector<Finding> &out)
-{
-    static const std::vector<std::string> kWords = {
-        "system_clock",     "steady_clock", "high_resolution_clock",
-        "gettimeofday",     "clock_gettime", "localtime",
-        "gmtime",           "mktime",
-    };
-    static const std::vector<std::string> kCalls = {"time", "clock"};
-    for (size_t li = 0; li < s.code.size(); ++li) {
-        const std::string &line = s.code[li];
-        const int line_no = static_cast<int>(li) + 1;
-        if (allowed(s, "wall-clock", line_no))
-            continue;
-        for (const std::string &word : kWords) {
-            if (containsWord(line, word)) {
-                out.push_back({path, line_no, "wall-clock",
-                               "wall-clock source `" + word +
-                                   "`; simulated time must come "
-                                   "from sim::EventQueue"});
-            }
-        }
-        for (const std::string &call : kCalls) {
-            if (callsFunction(line, call)) {
-                out.push_back({path, line_no, "wall-clock",
-                               "wall-clock call `" + call +
-                                   "()`; simulated time must come "
-                                   "from sim::EventQueue"});
-            }
-        }
-    }
-}
-
-void
-checkRawRandom(const std::string &path, const Stripped &s,
-               std::vector<Finding> &out)
-{
-    // The deterministic engine home may name engines in its own
-    // implementation (seeding helpers, docs fixtures).
-    if (path.find("sim/random.") != std::string::npos)
-        return;
-    static const std::vector<std::string> kWords = {
-        "random_device", "mt19937",  "mt19937_64",
-        "minstd_rand",   "drand48",  "lrand48",
-        "default_random_engine",
-    };
-    static const std::vector<std::string> kCalls = {"rand", "srand"};
-    for (size_t li = 0; li < s.code.size(); ++li) {
-        const std::string &line = s.code[li];
-        const int line_no = static_cast<int>(li) + 1;
-        if (allowed(s, "raw-random", line_no))
-            continue;
-        for (const std::string &word : kWords) {
-            if (containsWord(line, word)) {
-                out.push_back({path, line_no, "raw-random",
-                               "nondeterministic randomness `" +
-                                   word +
-                                   "`; use sim::Rng forks "
-                                   "(sim/random.hh)"});
-            }
-        }
-        for (const std::string &call : kCalls) {
-            if (callsFunction(line, call)) {
-                out.push_back({path, line_no, "raw-random",
-                               "nondeterministic call `" + call +
-                                   "()`; use sim::Rng forks "
-                                   "(sim/random.hh)"});
-            }
-        }
-    }
-}
-
-void
-checkIteration(const std::string &path, const Stripped &s,
-               const std::vector<TrackedName> &extra_tracked,
-               std::vector<Finding> &out)
-{
-    std::vector<TrackedName> tracked = collectTrackedNames(s);
-    tracked.insert(tracked.end(), extra_tracked.begin(),
-                   extra_tracked.end());
-    if (tracked.empty())
-        return;
-
-    auto report = [&](const TrackedName &t, int line_no,
-                      const std::string &how) {
-        const char *rule =
-            t.pointer_keyed ? "ptr-map-iter" : "unordered-iter";
-        if (allowed(s, rule, line_no))
-            return;
-        std::string why =
-            t.pointer_keyed
-                ? "pointer-keyed ordered container: iteration "
-                  "order follows addresses (ASLR-dependent)"
-                : "hash-table iteration order is unspecified";
-        out.push_back(
-            {path, line_no, rule,
-             how + " over `" + t.name + "` (declared line " +
-                 std::to_string(t.line) + "): " + why +
-                 "; use std::map/vector or annotate "
-                 "simlint:allow(" + rule + ": <reason>)"});
-    };
-
-    for (size_t li = 0; li < s.code.size(); ++li) {
-        const std::string &line = s.code[li];
-        const int line_no = static_cast<int>(li) + 1;
-        // Range-for over a tracked name: the name appears after the
-        // ':' inside a for(...) — approximate by requiring "for"
-        // and ":" on the line (possibly continued from previous
-        // line for multi-line for-headers).
-        for (const TrackedName &t : tracked) {
-            size_t at = 0;
-            if (!containsWord(line, t.name, at))
-                continue;
-            // `name.begin()` / `name.end()` / cbegin / cend.
-            size_t after = at + t.name.size();
-            while (after < line.size() && line[after] == ' ')
-                ++after;
-            if (after < line.size() && line[after] == '.') {
-                size_t m = after + 1;
-                std::string member = nextIdent(line, m);
-                // `.end()` alone is the find-compare idiom; only a
-                // `begin` actually starts an iteration.
-                if (member == "begin" || member == "cbegin" ||
-                    member == "rbegin") {
-                    report(t, line_no, "iterator loop");
-                    continue;
-                }
-            }
-            // Range-for: look back for ':' then 'for ('. Also
-            // catch for-headers split across two lines.
-            std::string head = line.substr(0, at);
-            size_t colon = head.find_last_of(':');
-            bool has_colon =
-                colon != std::string::npos &&
-                (colon == 0 || head[colon - 1] != ':') &&
-                (colon + 1 >= head.size() ||
-                 head[colon + 1] != ':');
-            if (!has_colon)
-                continue;
-            std::string context = head;
-            if (li > 0)
-                context = s.code[li - 1] + " " + context;
-            size_t f = 0;
-            if (containsWord(context, "for", f))
-                report(t, line_no, "ranged-for");
-        }
-    }
-}
-
-void
-checkMetricNames(const std::string &path, const Stripped &s,
-                 std::vector<Finding> &out)
-{
-    static const std::vector<std::string> kCalls = {
-        "counter", "sampler", "histogram", "timeWeighted", "gauge",
-        "uniquePrefix",
-    };
-    auto validSegment = [](const std::string &seg) {
-        if (seg.empty())
-            return false;
-        for (char c : seg) {
-            if (!(std::islower(static_cast<unsigned char>(c)) ||
-                  std::isdigit(static_cast<unsigned char>(c)) ||
-                  c == '_' || c == '#'))
-                return false;
-        }
-        return true;
-    };
-    auto validPath = [&](const std::string &text) {
-        if (text.empty())
-            return true; // empty literal: not a path fragment
-        size_t start = 0;
-        bool first = true;
-        while (start <= text.size()) {
-            size_t dot = text.find('.', start);
-            bool last = dot == std::string::npos;
-            std::string seg = text.substr(
-                start, last ? std::string::npos : dot - start);
-            // Literals are concatenated around prefix variables, so
-            // a leading '.' (suffix literal) or trailing '.'
-            // (prefix literal) leaves an empty edge segment — fine.
-            if (!((first || last) && seg.empty()) &&
-                !validSegment(seg))
-                return false;
-            first = false;
-            if (last)
-                break;
-            start = dot + 1;
-        }
-        return true;
-    };
-
-    for (size_t li = 0; li < s.code.size(); ++li) {
-        const std::string &line = s.code[li];
-        const int line_no = static_cast<int>(li) + 1;
-        bool is_call = false;
-        for (const std::string &call : kCalls) {
-            size_t at = 0;
-            if (containsWord(line, call, at) && at > 0 &&
-                line[at - 1] == '.' &&
-                callsFunction(line, call, at)) {
-                is_call = true;
-                break;
-            }
-        }
-        if (!is_call || allowed(s, "metric-name", line_no))
-            continue;
-        // Literals on the call line or the two continuation lines
-        // (registration statements wrap in this codebase).
-        for (const Literal &lit : s.literals) {
-            if (lit.line < line_no || lit.line > line_no + 2)
-                continue;
-            if (!validPath(lit.text)) {
-                out.push_back(
-                    {path, lit.line, "metric-name",
-                     "metric path literal \"" + lit.text +
-                         "\" violates the DESIGN.md §6c grammar "
-                         "(lowercase [a-z0-9_#] segments joined "
-                         "with '.')"});
-            }
-        }
-    }
-}
-
-/**
- * Flags the lookup-then-record idiom: a registry/string lookup call
- * chained directly into a recording method, e.g.
- * `metrics().counter("x").increment()`. That re-pays the string-map
- * lookup on every event; per-I/O code must resolve a
- * CounterHandle/SamplerHandle once at registration and record
- * through it (sim/metrics.hh). Registration alone — assigning the
- * returned handle — is fine and not matched.
- */
-void
-checkMetricHandle(const std::string &path, const Stripped &s,
-                  std::vector<Finding> &out)
-{
-    static const std::vector<std::string> kLookups = {
-        "counter",       "sampler",
-        "histogram",     "timeWeighted",
-        "findCounter",   "findSampler",
-        "findHistogram", "findTimeWeighted",
-    };
-    static const std::vector<std::string> kRecords = {
-        "increment",
-        "add",
-        "set",
-        "adjust",
-    };
-
-    // Chains wrap across lines, so scan the joined text.
-    std::string joined;
-    std::vector<int> line_of; // joined offset -> 1-based line
-    for (size_t li = 0; li < s.code.size(); ++li) {
-        for (char c : s.code[li]) {
-            joined.push_back(c);
-            line_of.push_back(static_cast<int>(li) + 1);
-        }
-        joined.push_back('\n');
-        line_of.push_back(static_cast<int>(li) + 1);
-    }
-    auto skipSpace = [&](size_t i) {
-        while (i < joined.size() &&
-               (joined[i] == ' ' || joined[i] == '\n' ||
-                joined[i] == '\t'))
-            ++i;
-        return i;
-    };
-
-    for (const std::string &call : kLookups) {
-        size_t pos = 0;
-        size_t at = 0;
-        while (containsWord(joined, call, at, pos)) {
-            pos = at + call.size();
-            // Member call only: `x.counter(` / `x->counter(`.
-            if (at == 0 || (joined[at - 1] != '.' &&
-                            joined[at - 1] != '>'))
-                continue;
-            size_t i = skipSpace(pos);
-            if (i >= joined.size() || joined[i] != '(')
-                continue;
-            int depth = 0;
-            for (; i < joined.size(); ++i) {
-                if (joined[i] == '(')
-                    ++depth;
-                else if (joined[i] == ')' && --depth == 0)
-                    break;
-            }
-            if (i >= joined.size())
-                continue;
-            i = skipSpace(i + 1);
-            if (i >= joined.size() || joined[i] != '.')
-                continue;
-            i = skipSpace(i + 1);
-            if (i >= joined.size() || !isIdentChar(joined[i]))
-                continue;
-            std::string member = nextIdent(joined, i);
-            if (std::find(kRecords.begin(), kRecords.end(),
-                          member) == kRecords.end())
-                continue;
-            const int line_no = line_of[at];
-            if (allowed(s, "metric-handle", line_no))
-                continue;
-            out.push_back(
-                {path, line_no, "metric-handle",
-                 "metric looked up and recorded in one expression "
-                 "(`." +
-                     call + "(...)." + member +
-                     "(...)`): the string lookup runs per event; "
-                     "resolve a handle at registration "
-                     "(sim/metrics.hh) or annotate "
-                     "simlint:allow(metric-handle: <reason>)"});
-        }
-    }
-}
-
-} // namespace
-
-namespace
-{
-
-std::vector<Finding>
-lint(const std::string &path, const std::string &content,
-     const std::vector<TrackedName> &header_tracked)
-{
-    Stripped stripped = strip(path, content);
-    std::vector<Finding> findings = stripped.annotation_findings;
-    checkWallClock(path, stripped, findings);
-    checkRawRandom(path, stripped, findings);
-    checkIteration(path, stripped, header_tracked, findings);
-    checkMetricNames(path, stripped, findings);
-    checkMetricHandle(path, stripped, findings);
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  if (a.rule != b.rule)
-                      return a.rule < b.rule;
-                  return a.message < b.message;
-              });
-    findings.erase(
-        std::unique(findings.begin(), findings.end(),
-                    [](const Finding &a, const Finding &b) {
-                        return a.line == b.line &&
-                               a.rule == b.rule &&
-                               a.message == b.message;
-                    }),
-        findings.end());
-    return findings;
-}
-
-bool
-readWhole(const std::string &path, std::string &out)
+readFile(const std::string &path, std::string &out)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    out = buffer.str();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
     return true;
+}
+
+bool
+pathContains(const std::string &path, const char *needle)
+{
+    return path.find(needle) != std::string::npos;
+}
+
+auto
+findingKey(const Finding &f)
+{
+    return std::tie(f.file, f.line, f.rule, f.message);
+}
+
+void
+sortFindings(std::vector<Finding> &v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const Finding &a, const Finding &b) {
+                  return findingKey(a) < findingKey(b);
+              });
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](const Finding &a, const Finding &b) {
+                            return findingKey(a) == findingKey(b);
+                        }),
+            v.end());
+}
+
+/** Candidate companion-header paths for a .cc/.cpp file. */
+std::vector<std::string>
+companionHeaders(const std::string &path)
+{
+    std::vector<std::string> out;
+    for (const char *src_ext : {".cc", ".cpp"}) {
+        std::string ext = src_ext;
+        if (path.size() > ext.size() &&
+            path.compare(path.size() - ext.size(), ext.size(),
+                         ext) == 0) {
+            std::string stem =
+                path.substr(0, path.size() - ext.size());
+            for (const char *h : {".hh", ".h", ".hpp"})
+                out.push_back(stem + h);
+            break;
+        }
+    }
+    return out;
+}
+
+/** True when scanned path @p path can satisfy include target
+ *  @p target ("sim/metrics.hh" matches "src/sim/metrics.hh"). */
+bool
+includeResolvesTo(const std::string &target, const std::string &path)
+{
+    if (path == target)
+        return true;
+    return path.size() > target.size() + 1 &&
+           path.compare(path.size() - target.size(), target.size(),
+                        target) == 0 &&
+           path[path.size() - target.size() - 1] == '/';
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** True when a Lookup path is satisfied by some registration. */
+bool
+lookupResolves(
+    const std::string &path,
+    const std::vector<std::pair<MetricUse, std::string>> &regs)
+{
+    for (const auto &[use, file] : regs) {
+        switch (use.kind) {
+        case MetricUse::Kind::RegisterPath:
+            if (use.text == path)
+                return true;
+            break;
+        case MetricUse::Kind::RegisterPrefix:
+            if (startsWith(path, use.text))
+                return true;
+            break;
+        case MetricUse::Kind::RegisterSuffix:
+            if (endsWith(path, use.text))
+                return true;
+            break;
+        case MetricUse::Kind::RegisterInfix:
+            if (path.find(use.text) != std::string::npos)
+                return true;
+            break;
+        case MetricUse::Kind::Lookup:
+            break;
+        }
+    }
+    return false;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::map<std::string, long>
+suppressionCounts(const RepoReport &report)
+{
+    std::map<std::string, long> counts;
+    for (const Suppression &s : report.suppressions)
+        ++counts[s.rule];
+    return counts;
 }
 
 } // namespace
@@ -905,35 +195,270 @@ readWhole(const std::string &path, std::string &out)
 std::vector<Finding>
 lintSource(const std::string &path, const std::string &content)
 {
-    return lint(path, content, {});
+    TuAnalysis tu = analyzeTu(path, content);
+    runTuRules(tu, nullptr, nullptr);
+    sortFindings(tu.findings);
+    return tu.findings;
 }
 
 std::vector<Finding>
 lintFile(const std::string &path)
 {
     std::string content;
-    if (!readWhole(path, content))
+    if (!readFile(path, content))
         return {{path, 0, "io", "cannot read file"}};
 
-    // Members are typically declared in the companion header and
-    // iterated in the .cc — pull the header's tracked names in so
-    // cross-file iteration is visible.
-    std::vector<TrackedName> header_tracked;
-    size_t dot = path.rfind('.');
-    if (dot != std::string::npos && path.substr(dot) == ".cc") {
-        for (const char *ext : {".hh", ".h", ".hpp"}) {
-            std::string header_text;
-            if (readWhole(path.substr(0, dot) + ext, header_text)) {
-                Stripped header =
-                    strip(path, header_text);
-                header_tracked = collectTrackedNames(header);
-                // The header's own allows don't transfer; require
-                // annotations at the use site.
+    TuAnalysis tu = analyzeTu(path, content);
+
+    // Companion header: its aliases extend alias resolution, its
+    // container members count as tracked in this TU.
+    std::map<std::string, ContainerKind> header_aliases;
+    std::vector<TrackedVar> header_tracked;
+    bool have_header = false;
+    for (const std::string &hpath : companionHeaders(path)) {
+        std::string htext;
+        if (!readFile(hpath, htext))
+            continue;
+        Stripped hs = strip(hpath, htext);
+        SymbolTable hsym = buildSymbols(tokenize(hs));
+        header_aliases = std::move(hsym.aliases);
+        header_tracked = std::move(hsym.tracked);
+        have_header = true;
+        break;
+    }
+
+    runTuRules(tu, have_header ? &header_aliases : nullptr,
+               have_header ? &header_tracked : nullptr);
+    sortFindings(tu.findings);
+    return tu.findings;
+}
+
+RepoReport
+lintRepo(const std::vector<std::string> &paths)
+{
+    RepoReport report;
+    report.files = paths.size();
+
+    // ---- Pass 1: analyze every TU, build the repo-wide context ---
+    std::vector<TuAnalysis> tus;
+    tus.reserve(paths.size());
+    std::map<std::string, size_t> by_path;
+    for (const std::string &path : paths) {
+        std::string content;
+        if (!readFile(path, content)) {
+            report.findings.push_back(
+                {path, 0, "io", "cannot read file"});
+            continue;
+        }
+        by_path.emplace(path, tus.size());
+        tus.push_back(analyzeTu(path, content));
+    }
+
+    std::map<std::string, ContainerKind> global_aliases;
+    for (const TuAnalysis &tu : tus)
+        for (const auto &[name, kind] : tu.symbols.aliases)
+            global_aliases.emplace(name, kind);
+
+    // ---- Pass 2: per-TU rules with repo-wide context -------------
+    // Companion-header members are rebuilt with the global aliases so
+    // a member declared via an alias from a third TU is still
+    // tracked.
+    std::map<size_t, std::vector<TrackedVar>> header_tracked;
+    auto trackedOf =
+        [&](size_t idx) -> const std::vector<TrackedVar> & {
+        auto it = header_tracked.find(idx);
+        if (it == header_tracked.end()) {
+            it = header_tracked
+                     .emplace(idx,
+                              buildSymbols(tus[idx].tokens,
+                                           &global_aliases)
+                                  .tracked)
+                     .first;
+        }
+        return it->second;
+    };
+
+    for (size_t i = 0; i < tus.size(); ++i) {
+        const std::vector<TrackedVar> *extra = nullptr;
+        for (const std::string &hpath :
+             companionHeaders(tus[i].path)) {
+            auto hit = by_path.find(hpath);
+            if (hit != by_path.end()) {
+                extra = &trackedOf(hit->second);
                 break;
             }
         }
+        runTuRules(tus[i], &global_aliases, extra);
     }
-    return lint(path, content, header_tracked);
+
+    // ---- Cross-TU: include graph (banned-header attribution) -----
+    std::vector<std::vector<size_t>> includers(tus.size());
+    for (size_t i = 0; i < tus.size(); ++i) {
+        for (const IncludeDirective &inc : tus[i].includes) {
+            if (inc.system)
+                continue;
+            for (size_t j = 0; j < tus.size(); ++j) {
+                if (j != i &&
+                    includeResolvesTo(inc.target, tus[j].path))
+                    includers[j].push_back(i);
+            }
+        }
+    }
+    auto transitiveIncluders = [&](size_t idx) {
+        std::set<size_t> seen{idx};
+        std::queue<size_t> q;
+        q.push(idx);
+        while (!q.empty()) {
+            size_t cur = q.front();
+            q.pop();
+            for (size_t up : includers[cur]) {
+                if (seen.insert(up).second)
+                    q.push(up);
+            }
+        }
+        return seen.size() - 1;
+    };
+    for (size_t i = 0; i < tus.size(); ++i) {
+        size_t pulled = 0;
+        bool computed = false;
+        for (Finding &f : tus[i].findings) {
+            if (f.rule != "banned-header")
+                continue;
+            if (!computed) {
+                pulled = transitiveIncluders(i);
+                computed = true;
+            }
+            if (pulled > 0) {
+                f.message += "; pulled in transitively by " +
+                             std::to_string(pulled) +
+                             " scanned file(s)";
+            }
+        }
+    }
+
+    // ---- Cross-TU: metric index ----------------------------------
+    std::vector<std::pair<MetricUse, std::string>> regs;
+    for (const TuAnalysis &tu : tus) {
+        for (const MetricUse &use : tu.metric_uses) {
+            if (use.kind != MetricUse::Kind::Lookup)
+                regs.emplace_back(use, tu.path);
+        }
+    }
+
+    // Duplicate full-path registrations. Tests are excluded: they
+    // legitimately re-register the same path on per-test local
+    // registries.
+    std::map<std::string, std::vector<std::pair<std::string, int>>>
+        full_paths;
+    for (const auto &[use, file] : regs) {
+        if (use.kind == MetricUse::Kind::RegisterPath &&
+            !pathContains(file, "tests/"))
+            full_paths[use.text].emplace_back(file, use.line);
+    }
+    for (auto &[path, sites] : full_paths) {
+        if (sites.size() < 2)
+            continue;
+        std::sort(sites.begin(), sites.end());
+        for (size_t s = 1; s < sites.size(); ++s) {
+            const auto &[file, line] = sites[s];
+            size_t idx = by_path.at(file);
+            if (tus[idx].stripped.allowed("metric-index", line))
+                continue;
+            tus[idx].findings.push_back(
+                {file, line, "metric-index",
+                 "metric path \"" + path +
+                     "\" already registered at " + sites[0].first +
+                     ":" + std::to_string(sites[0].second) +
+                     ": duplicate registrations silently share one "
+                     "series; derive a distinct path or annotate "
+                     "simlint:allow(metric-index: <reason>)"});
+        }
+    }
+
+    // By-name lookups of metrics never registered anywhere in the
+    // scanned tree: a typo reads as a silent zero.
+    for (TuAnalysis &tu : tus) {
+        for (const MetricUse &use : tu.metric_uses) {
+            if (use.kind != MetricUse::Kind::Lookup)
+                continue;
+            if (lookupResolves(use.text, regs))
+                continue;
+            if (tu.stripped.allowed("metric-index", use.line))
+                continue;
+            tu.findings.push_back(
+                {tu.path, use.line, "metric-index",
+                 "`" + use.call + "(\"" + use.text +
+                     "\")` looks up a metric never registered "
+                     "anywhere in the scanned tree: a typo here "
+                     "reads as a silent zero; fix the path or "
+                     "annotate simlint:allow(metric-index: "
+                     "<reason>)"});
+        }
+    }
+
+    // ---- Collect -------------------------------------------------
+    for (TuAnalysis &tu : tus) {
+        report.findings.insert(report.findings.end(),
+                               tu.findings.begin(),
+                               tu.findings.end());
+        report.suppressions.insert(
+            report.suppressions.end(),
+            tu.stripped.suppressions.begin(),
+            tu.stripped.suppressions.end());
+    }
+    sortFindings(report.findings);
+    std::sort(report.suppressions.begin(),
+              report.suppressions.end(),
+              [](const Suppression &a, const Suppression &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return report;
+}
+
+std::vector<std::string>
+collectInputs(const std::vector<std::string> &roots,
+              std::vector<std::string> *missing)
+{
+    static const std::set<std::string> kExts = {
+        ".cc", ".cpp", ".hh", ".hpp", ".h",
+    };
+    static const std::set<std::string> kSkipDirs = {
+        "fixtures", "build", ".git",
+    };
+    std::vector<std::string> out;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        if (fs::is_regular_file(root, ec)) {
+            out.push_back(root);
+            continue;
+        }
+        if (!fs::is_directory(root, ec)) {
+            if (missing)
+                missing->push_back(root);
+            continue;
+        }
+        fs::recursive_directory_iterator it(
+            root, fs::directory_options::skip_permission_denied,
+            ec);
+        fs::recursive_directory_iterator end;
+        for (; !ec && it != end; it.increment(ec)) {
+            const fs::directory_entry &entry = *it;
+            if (entry.is_directory(ec)) {
+                if (kSkipDirs.count(
+                        entry.path().filename().string()))
+                    it.disable_recursion_pending();
+                continue;
+            }
+            if (!entry.is_regular_file(ec))
+                continue;
+            if (kExts.count(entry.path().extension().string()))
+                out.push_back(entry.path().generic_string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
 }
 
 std::string
@@ -941,6 +466,150 @@ formatFinding(const Finding &finding)
 {
     return finding.file + ":" + std::to_string(finding.line) +
            ": [" + finding.rule + "] " + finding.message;
+}
+
+std::string
+reportToJson(const RepoReport &report)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": 1,\n  \"files\": " << report.files
+        << ",\n  \"findings\": [";
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding &f = report.findings[i];
+        out << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+            << jsonEscape(f.file) << "\", \"line\": " << f.line
+            << ", \"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"message\": \"" << jsonEscape(f.message)
+            << "\"}";
+    }
+    out << (report.findings.empty() ? "]" : "\n  ]")
+        << ",\n  \"suppressions\": [";
+    for (size_t i = 0; i < report.suppressions.size(); ++i) {
+        const Suppression &s = report.suppressions[i];
+        out << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+            << jsonEscape(s.file) << "\", \"line\": " << s.line
+            << ", \"rule\": \"" << jsonEscape(s.rule)
+            << "\", \"reason\": \"" << jsonEscape(s.reason)
+            << "\", \"file_scope\": "
+            << (s.file_scope ? "true" : "false") << "}";
+    }
+    out << (report.suppressions.empty() ? "]" : "\n  ]")
+        << ",\n  \"suppression_counts\": {";
+    const auto counts = suppressionCounts(report);
+    size_t i = 0;
+    for (const auto &[rule, n] : counts) {
+        out << (i++ ? ", " : "") << "\"" << jsonEscape(rule)
+            << "\": " << n;
+    }
+    out << "},\n  \"total_suppressions\": "
+        << report.suppressions.size() << "\n}\n";
+    return out.str();
+}
+
+std::string
+suppressionSummary(const RepoReport &report)
+{
+    std::ostringstream out;
+    out << "total " << report.suppressions.size() << "\n";
+    for (const auto &[rule, n] : suppressionCounts(report))
+        out << rule << " " << n << "\n";
+    return out.str();
+}
+
+RatchetResult
+checkRatchet(const RepoReport &report,
+             const std::string &baseline_text)
+{
+    RatchetResult res;
+    std::map<std::string, long> base;
+    bool base_has_total = false;
+    long base_total = 0;
+    {
+        std::istringstream in(baseline_text);
+        std::string line;
+        int line_no = 0;
+        while (std::getline(in, line)) {
+            ++line_no;
+            size_t hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            std::istringstream ls(line);
+            std::string rule;
+            long n = -1;
+            if (!(ls >> rule))
+                continue; // blank / comment-only line
+            if (!(ls >> n) || n < 0) {
+                res.ok = false;
+                res.detail = "malformed baseline line " +
+                             std::to_string(line_no) + ": \"" +
+                             line + "\" (want \"<rule> <count>\")";
+                return res;
+            }
+            if (rule == "total") {
+                base_has_total = true;
+                base_total = n;
+            } else {
+                base[rule] = n;
+            }
+        }
+    }
+
+    const auto live = suppressionCounts(report);
+    const long live_total =
+        static_cast<long>(report.suppressions.size());
+
+    std::vector<std::string> breaches;
+    std::vector<std::string> notes;
+    std::set<std::string> rules;
+    for (const auto &[rule, n] : live)
+        rules.insert(rule);
+    for (const auto &[rule, n] : base)
+        rules.insert(rule);
+    for (const std::string &rule : rules) {
+        auto lit = live.find(rule);
+        auto bit = base.find(rule);
+        long l = lit == live.end() ? 0 : lit->second;
+        long b = bit == base.end() ? 0 : bit->second;
+        if (l > b) {
+            breaches.push_back(
+                rule + ": " + std::to_string(l) +
+                " live suppression(s) > baseline " +
+                std::to_string(b) +
+                " — remove the new allow or bump the baseline "
+                "deliberately (with review)");
+        } else if (l < b) {
+            notes.push_back(rule + ": " + std::to_string(l) +
+                            " live < baseline " +
+                            std::to_string(b) +
+                            " (baseline can be tightened)");
+        }
+    }
+    if (base_has_total && live_total > base_total) {
+        breaches.push_back("total: " + std::to_string(live_total) +
+                           " live suppression(s) > baseline " +
+                           std::to_string(base_total));
+    } else if (base_has_total && live_total < base_total) {
+        notes.push_back("total: " + std::to_string(live_total) +
+                        " live < baseline " +
+                        std::to_string(base_total) +
+                        " (baseline can be tightened)");
+    }
+
+    std::ostringstream detail;
+    if (breaches.empty()) {
+        detail << "suppression ratchet OK (" << live_total
+               << " live suppression(s))";
+        res.ok = true;
+    } else {
+        detail << "suppression ratchet BREACHED:";
+        for (const std::string &b : breaches)
+            detail << "\n  " << b;
+        res.ok = false;
+    }
+    for (const std::string &n : notes)
+        detail << "\n  note: " << n;
+    res.detail = detail.str();
+    return res;
 }
 
 } // namespace v3sim::simlint

@@ -2,87 +2,137 @@
  * @file
  * simlint CLI. Usage:
  *
- *   simlint <file-or-directory>...
+ *   simlint [--json[=FILE]] [--ratchet=FILE] <file-or-directory>...
  *
- * Directories are walked recursively for .cc/.hh/.cpp/.hpp/.h files.
- * Findings print as "file:line: [rule] message". Exit status: 0 when
- * clean, 1 when findings were reported, 2 on usage error.
+ * Directories are walked recursively for .cc/.hh/.cpp/.hpp/.h files
+ * (skipping fixtures/, build/ and .git/). The whole input set is
+ * analyzed as one repo (lintRepo) so the cross-TU rules — the metric
+ * index, repo-wide alias resolution, include-graph attribution —
+ * see everything at once.
  *
- * Registered with ctest as `simlint_repo` over src/, bench/ and
- * tests/ — the determinism contract (DESIGN.md §8) is enforced on
- * every test run, not just in CI.
+ * Output:
+ *   default          findings as "file:line: [rule] message"
+ *   --json           the schema-1 JSON report on stdout (replaces
+ *                    the text findings)
+ *   --json=FILE      text findings on stdout AND the JSON report
+ *                    written to FILE (for CI artifacts)
+ *   --ratchet=FILE   additionally compare the suppression inventory
+ *                    against the checked-in baseline FILE; a count
+ *                    above baseline fails the run
+ *
+ * Exit status: 0 clean, 1 findings or ratchet breach, 2 usage/IO
+ * error.
+ *
+ * Registered with ctest as `simlint_repo` over src/, bench/,
+ * tests/, tools/ and examples/ — the determinism contract
+ * (DESIGN.md §8) is enforced on every test run, not just in CI.
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.hh"
 
-namespace fs = std::filesystem;
 using v3sim::simlint::Finding;
-
-namespace
-{
-
-bool
-lintableExtension(const fs::path &path)
-{
-    const std::string ext = path.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".hpp" || ext == ".h";
-}
-
-} // namespace
+using v3sim::simlint::RatchetResult;
+using v3sim::simlint::RepoReport;
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    bool json_stdout = false;
+    std::string json_path;
+    std::string ratchet_path;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json_stdout = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--ratchet=", 0) == 0) {
+            ratchet_path = arg.substr(10);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "simlint: unknown flag: %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty()) {
         std::fprintf(stderr,
-                     "usage: simlint <file-or-directory>...\n");
+                     "usage: simlint [--json[=FILE]] "
+                     "[--ratchet=FILE] <file-or-directory>...\n");
         return 2;
     }
 
-    std::vector<std::string> files;
-    for (int i = 1; i < argc; ++i) {
-        const fs::path root(argv[i]);
-        std::error_code ec;
-        if (fs::is_directory(root, ec)) {
-            for (const auto &entry :
-                 fs::recursive_directory_iterator(root)) {
-                if (entry.is_regular_file() &&
-                    lintableExtension(entry.path()))
-                    files.push_back(entry.path().string());
-            }
-        } else if (fs::is_regular_file(root, ec)) {
-            files.push_back(root.string());
-        } else {
+    std::vector<std::string> missing;
+    const std::vector<std::string> files =
+        v3sim::simlint::collectInputs(roots, &missing);
+    if (!missing.empty()) {
+        for (const std::string &m : missing)
             std::fprintf(stderr, "simlint: no such input: %s\n",
-                         argv[i]);
-            return 2;
-        }
+                         m.c_str());
+        return 2;
     }
-    std::sort(files.begin(), files.end());
 
-    size_t findings = 0;
-    for (const std::string &file : files) {
-        for (const Finding &finding :
-             v3sim::simlint::lintFile(file)) {
+    const RepoReport report = v3sim::simlint::lintRepo(files);
+
+    if (json_stdout) {
+        std::fputs(v3sim::simlint::reportToJson(report).c_str(),
+                   stdout);
+    } else {
+        for (const Finding &finding : report.findings)
             std::printf(
                 "%s\n",
                 v3sim::simlint::formatFinding(finding).c_str());
-            ++findings;
-        }
     }
-    if (findings > 0) {
-        std::printf("simlint: %zu finding%s in %zu file%s\n",
-                    findings, findings == 1 ? "" : "s",
-                    files.size(), files.size() == 1 ? "" : "s");
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "simlint: cannot write JSON report: %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        out << v3sim::simlint::reportToJson(report);
+    }
+
+    bool ratchet_ok = true;
+    if (!ratchet_path.empty()) {
+        std::ifstream in(ratchet_path);
+        if (!in) {
+            std::fprintf(stderr,
+                         "simlint: cannot read ratchet baseline: "
+                         "%s\n",
+                         ratchet_path.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const RatchetResult r =
+            v3sim::simlint::checkRatchet(report, ss.str());
+        std::fprintf(stderr, "simlint: %s\n", r.detail.c_str());
+        ratchet_ok = r.ok;
+    }
+
+    if (!report.findings.empty()) {
+        std::fprintf(
+            stderr, "simlint: %zu finding%s in %zu file%s\n",
+            report.findings.size(),
+            report.findings.size() == 1 ? "" : "s", report.files,
+            report.files == 1 ? "" : "s");
         return 1;
     }
-    std::printf("simlint: %zu files clean\n", files.size());
-    return 0;
+    if (!json_stdout)
+        std::fprintf(stderr,
+                     "simlint: %zu files clean (%zu suppression%s "
+                     "on record)\n",
+                     report.files, report.suppressions.size(),
+                     report.suppressions.size() == 1 ? "" : "s");
+    return ratchet_ok ? 0 : 1;
 }

@@ -1,0 +1,244 @@
+#include "symtab.hh"
+
+#include <optional>
+
+namespace v3sim::simlint
+{
+
+namespace
+{
+
+/** Container template names and whether they are always suspect
+ *  (unordered) or only when pointer-keyed (ordered map/set). */
+bool
+isUnorderedContainer(const std::string &name)
+{
+    return name == "unordered_map" || name == "unordered_multimap" ||
+           name == "unordered_set" || name == "unordered_multiset";
+}
+
+bool
+isOrderedContainer(const std::string &name)
+{
+    return name == "map" || name == "multimap" || name == "set" ||
+           name == "multiset";
+}
+
+/** Index of the '>' matching the '<' at @p open, or npos. */
+size_t
+matchTemplateClose(const std::vector<Token> &tokens, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].is("<")) {
+            ++depth;
+        } else if (tokens[i].is(">")) {
+            if (--depth == 0)
+                return i;
+        } else if (tokens[i].is(";") || tokens[i].is("{")) {
+            // Not a template argument list after all (stray
+            // less-than in an expression).
+            return std::string::npos;
+        }
+    }
+    return std::string::npos;
+}
+
+/** True when the first template argument after the '<' at @p open
+ *  is a pointer type (ends in '*'). */
+bool
+firstArgIsPointer(const std::vector<Token> &tokens, size_t open)
+{
+    int depth = 1;
+    std::string last;
+    for (size_t i = open + 1; i < tokens.size(); ++i) {
+        const Token &t = tokens[i];
+        if (t.is("<")) {
+            ++depth;
+        } else if (t.is(">")) {
+            if (--depth == 0)
+                return last == "*";
+        } else if (t.is(",") && depth == 1) {
+            return last == "*";
+        } else if (t.is(";") || t.is("{")) {
+            return false;
+        }
+        last = t.text;
+    }
+    return false;
+}
+
+/** Classifies the container type starting at token @p i (which must
+ *  name a container followed by '<'). Returns nullopt for a
+ *  value-keyed ordered container. */
+std::optional<ContainerKind>
+classifyContainer(const std::vector<Token> &tokens, size_t i)
+{
+    if (isUnorderedContainer(tokens[i].text))
+        return ContainerKind::Unordered;
+    if (isOrderedContainer(tokens[i].text) &&
+        firstArgIsPointer(tokens, i + 1))
+        return ContainerKind::PtrKeyed;
+    return std::nullopt;
+}
+
+} // namespace
+
+SymbolTable
+buildSymbols(const std::vector<Token> &tokens,
+             const std::map<std::string, ContainerKind>
+                 *global_aliases)
+{
+    SymbolTable out;
+
+    auto aliasKind =
+        [&](const std::string &name) -> std::optional<ContainerKind> {
+        auto it = out.aliases.find(name);
+        if (it != out.aliases.end())
+            return it->second;
+        if (global_aliases) {
+            auto git = global_aliases->find(name);
+            if (git != global_aliases->end())
+                return git->second;
+        }
+        return std::nullopt;
+    };
+
+    // ---- Pass A: `using Alias = <container-or-alias>;` ----------
+    // Run twice so an alias-of-alias defined later in the TU still
+    // resolves.
+    for (int round = 0; round < 2; ++round) {
+        for (size_t i = 0; i + 3 < tokens.size(); ++i) {
+            if (!tokens[i].ident("using") ||
+                tokens[i + 1].kind != Tok::Ident ||
+                !tokens[i + 2].is("="))
+                continue;
+            const std::string &alias = tokens[i + 1].text;
+            std::optional<ContainerKind> kind;
+            for (size_t j = i + 3;
+                 j < tokens.size() && !tokens[j].is(";"); ++j) {
+                if (tokens[j].kind != Tok::Ident)
+                    continue;
+                if (j + 1 < tokens.size() &&
+                    tokens[j + 1].is("<")) {
+                    kind = classifyContainer(tokens, j);
+                    if (kind)
+                        break;
+                    size_t close = matchTemplateClose(tokens, j + 1);
+                    if (close == std::string::npos)
+                        break;
+                    j = close;
+                } else if (auto k = aliasKind(tokens[j].text)) {
+                    kind = k;
+                    break;
+                }
+            }
+            if (kind)
+                out.aliases[alias] = *kind;
+        }
+    }
+
+    // ---- Pass B: variables declared with a container type -------
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != Tok::Ident ||
+            !(isUnorderedContainer(tokens[i].text) ||
+              isOrderedContainer(tokens[i].text)) ||
+            !tokens[i + 1].is("<"))
+            continue;
+        std::optional<ContainerKind> kind =
+            classifyContainer(tokens, i);
+        if (!kind)
+            continue;
+        // Skip alias definitions (handled in pass A): a `using X =`
+        // introducer earlier in the same statement.
+        bool is_alias_def = false;
+        for (size_t j = i; j-- > 0;) {
+            if (tokens[j].is(";") || tokens[j].is("{") ||
+                tokens[j].is("}"))
+                break;
+            if (tokens[j].ident("using")) {
+                is_alias_def = true;
+                break;
+            }
+        }
+        if (is_alias_def)
+            continue;
+        size_t close = matchTemplateClose(tokens, i + 1);
+        if (close == std::string::npos)
+            continue;
+        // Declarator list: `name ;`, `name = ...`, `name{...}`,
+        // `name, name2`, or a parameter `name)` — stop on anything
+        // else (expression, cast, function return type).
+        size_t k = close + 1;
+        while (k < tokens.size()) {
+            while (k < tokens.size() &&
+                   (tokens[k].is("&") || tokens[k].is("*")))
+                ++k;
+            if (k >= tokens.size() || tokens[k].kind != Tok::Ident)
+                break;
+            const Token &name = tokens[k];
+            const std::string term =
+                k + 1 < tokens.size() ? tokens[k + 1].text : "";
+            if (term == ";" || term == "=" || term == "," ||
+                term == "{" || term == ")") {
+                out.tracked.push_back({name.text, name.line, *kind});
+            }
+            if (term != ",")
+                break;
+            k += 2;
+        }
+    }
+
+    // ---- Pass C: variables declared with an alias type ----------
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != Tok::Ident)
+            continue;
+        std::optional<ContainerKind> kind = aliasKind(tokens[i].text);
+        if (!kind)
+            continue;
+        // Not the alias's own definition.
+        if (i > 0 && tokens[i - 1].ident("using"))
+            continue;
+        size_t k = i + 1;
+        while (k < tokens.size() && tokens[k].is("&"))
+            ++k;
+        if (k >= tokens.size() || tokens[k].kind != Tok::Ident)
+            continue;
+        const std::string term =
+            k + 1 < tokens.size() ? tokens[k + 1].text : "";
+        if (term == ";" || term == "=" || term == "{" ||
+            term == "," || term == ")") {
+            out.tracked.push_back(
+                {tokens[k].text, tokens[k].line, *kind});
+        }
+    }
+
+    // ---- Pass D: pointer-typed names (`T *name`) ----------------
+    for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+        if (tokens[i].kind != Tok::Ident || !tokens[i + 1].is("*") ||
+            tokens[i + 2].kind != Tok::Ident)
+            continue;
+        const std::string term =
+            i + 3 < tokens.size() ? tokens[i + 3].text : ";";
+        if (term != ";" && term != "=" && term != "," &&
+            term != ")" && term != "{")
+            continue;
+        // Declaration context only: the type name must open a
+        // statement, parameter or member — never follow an
+        // expression (a * b).
+        if (i > 0) {
+            const Token &prev = tokens[i - 1];
+            const bool decl_context =
+                prev.is(";") || prev.is("{") || prev.is("}") ||
+                prev.is("(") || prev.is(",") || prev.is("<") ||
+                prev.is("::") || prev.ident("const");
+            if (!decl_context)
+                continue;
+        }
+        out.pointer_names.insert(tokens[i + 2].text);
+    }
+
+    return out;
+}
+
+} // namespace v3sim::simlint

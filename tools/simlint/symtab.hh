@@ -1,0 +1,74 @@
+/**
+ * @file
+ * simlint per-TU symbol table: lightweight declaration tracking over
+ * the token stream.
+ *
+ * Three kinds of symbols feed the rules:
+ *
+ *  - tracked container variables: names declared with an unordered
+ *    container type (unordered-iter) or a pointer-keyed ordered
+ *    map/set (ptr-map-iter), including multi-line declarations and
+ *    declarator lists;
+ *  - `using` aliases of those container types. Aliases resolve
+ *    transitively, and — crucially — through an optional *global*
+ *    alias table built by the cross-TU pass, so an alias defined in
+ *    one header and used to declare a member in another TU still
+ *    marks that member as tracked (the v1 analyzer only saw aliases
+ *    in the same TU);
+ *  - pointer-typed names (`T *name`), consumed by the final-band-key
+ *    rule to spot pointer relational compares in comparators.
+ */
+
+#ifndef V3SIM_TOOLS_SIMLINT_SYMTAB_HH
+#define V3SIM_TOOLS_SIMLINT_SYMTAB_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace v3sim::simlint
+{
+
+/** Why a container's iteration order is suspect. */
+enum class ContainerKind
+{
+    Unordered, ///< hash-table order (unordered-iter)
+    PtrKeyed,  ///< address order (ptr-map-iter)
+};
+
+/** A variable/member declared with a suspect container type. */
+struct TrackedVar
+{
+    std::string name;
+    int line = 0;
+    ContainerKind kind = ContainerKind::Unordered;
+};
+
+/** Per-TU declarations relevant to the rules. */
+struct SymbolTable
+{
+    /** alias name -> what container family it names. */
+    std::map<std::string, ContainerKind> aliases;
+    /** variables declared with a suspect container (or alias). */
+    std::vector<TrackedVar> tracked;
+    /** names declared pointer-typed (`T *name`), incl. parameters. */
+    std::set<std::string> pointer_names;
+};
+
+/**
+ * Builds the symbol table from a token stream. @p global_aliases,
+ * when given, seeds alias resolution with aliases exported by other
+ * TUs (the cross-TU pass); the TU's own aliases still take
+ * precedence on a name collision.
+ */
+SymbolTable
+buildSymbols(const std::vector<Token> &tokens,
+             const std::map<std::string, ContainerKind>
+                 *global_aliases = nullptr);
+
+} // namespace v3sim::simlint
+
+#endif // V3SIM_TOOLS_SIMLINT_SYMTAB_HH
